@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Re-exported names so callers inside this module can drive the common
+// flows from one import. Each aliased type's documentation lives with
+// its definition.
+type (
+	// Spec is a synthetic benchmark definition.
+	Spec = workload.Spec
+	// InputSet selects a benchmark input (schedule + data seed).
+	InputSet = workload.InputSet
+	// RunConfig controls benchmark execution.
+	RunConfig = workload.RunConfig
+	// Trace is a recorded conditional-branch stream.
+	Trace = trace.Trace
+	// Profile is the interleave profile working-set analysis consumes.
+	Profile = profile.Profile
+	// AnalysisConfig configures working-set analysis.
+	AnalysisConfig = core.AnalysisConfig
+	// AnalysisResult is a working-set analysis outcome (Table 2 row).
+	AnalysisResult = core.AnalysisResult
+	// AllocationConfig configures branch allocation.
+	AllocationConfig = core.AllocationConfig
+	// Allocation is a computed branch-to-BHT-entry assignment.
+	Allocation = core.Allocation
+	// SuiteConfig configures the experiment harness.
+	SuiteConfig = harness.Config
+	// Suite runs the paper's experiments with shared caching.
+	Suite = harness.Suite
+)
+
+// Common input sets.
+var (
+	InputRef = workload.InputRef
+	InputA   = workload.InputA
+	InputB   = workload.InputB
+)
+
+// Benchmarks returns the names of the built-in benchmark suite, in the
+// paper's Table 1 order.
+func Benchmarks() []string { return workload.Names() }
+
+// Benchmark returns the spec of a built-in benchmark.
+func Benchmark(name string) (Spec, error) { return workload.ByName(name) }
+
+// Run executes a benchmark and returns its branch trace.
+func Run(name string, cfg RunConfig) (*Trace, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := spec.Run(cfg)
+	return tr, err
+}
+
+// ProfileBenchmark executes a benchmark with the online interleave
+// profiler attached (the paper's profiling run).
+func ProfileBenchmark(name string, cfg RunConfig) (*Profile, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := spec.Profile(cfg)
+	return p, err
+}
+
+// ProfileTrace profiles a recorded trace (optionally with a bounded
+// interleave scan window; 0 = exact).
+func ProfileTrace(tr *Trace, window int) *Profile {
+	var opts []profile.Option
+	if window > 0 {
+		opts = append(opts, profile.WithWindow(window))
+	}
+	p := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
+	tr.Replay(p)
+	p.SetInstructions(tr.Instructions)
+	return p.Profile()
+}
+
+// Analyze runs branch working set analysis over a profile.
+func Analyze(p *Profile, cfg AnalysisConfig) (*AnalysisResult, error) {
+	return core.Analyze(p, cfg)
+}
+
+// Allocate computes a branch allocation (a static branch→BHT-entry map).
+func Allocate(p *Profile, cfg AllocationConfig) (*Allocation, error) {
+	return core.Allocate(p, cfg)
+}
+
+// MergeProfiles combines profiles of one benchmark gathered from
+// different input sets (the paper's cumulative-profile remedy for
+// profile/input mismatch).
+func MergeProfiles(profiles ...*Profile) (*Profile, error) {
+	return profile.Merge(profiles...)
+}
+
+// PredictorResult is one predictor's accuracy on a trace.
+type PredictorResult = predict.Result
+
+// SimulatePAg replays a trace through a PAg predictor with the given
+// first-level indexing and returns its accuracy. alloc nil selects
+// conventional PC-modulo indexing with bhtEntries entries; non-nil uses
+// the allocation map (its table size governs).
+func SimulatePAg(tr *Trace, bhtEntries, phtEntries int, alloc *Allocation) (PredictorResult, error) {
+	var ix predict.Indexer
+	if alloc != nil {
+		ix = predict.AllocIndexer{Map: alloc.Map}
+	} else {
+		ix = predict.PCModIndexer{Entries: bhtEntries}
+	}
+	p, err := predict.NewPAg(ix, phtEntries)
+	if err != nil {
+		return PredictorResult{}, err
+	}
+	sim := predict.NewSim(p)
+	tr.Replay(sim)
+	return sim.Result(), nil
+}
+
+// SimulateInterferenceFree replays a trace through a PAg whose every
+// static branch has a private history entry (the paper's 2M-entry BHT
+// reference).
+func SimulateInterferenceFree(tr *Trace, phtEntries int) (PredictorResult, error) {
+	p, err := predict.NewPAg(predict.NewIdealIndexer(), phtEntries)
+	if err != nil {
+		return PredictorResult{}, err
+	}
+	sim := predict.NewSim(p)
+	tr.Replay(sim)
+	return sim.Result(), nil
+}
+
+// NewSuite returns an experiment harness; progress (optional) receives
+// one line per completed step.
+func NewSuite(cfg SuiteConfig, progress io.Writer) *Suite {
+	cfg.Progress = progress
+	return harness.NewSuite(cfg)
+}
+
+// interface conformance checks: the trace recorder and profiler must
+// remain valid vm sinks.
+var (
+	_ vm.BranchSink = (*trace.Recorder)(nil)
+	_ vm.BranchSink = (*profile.Profiler)(nil)
+	_ vm.BranchSink = (*predict.Sim)(nil)
+)

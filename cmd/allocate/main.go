@@ -1,0 +1,130 @@
+// Command allocate computes a branch allocation (paper Section 5): a
+// compiler-style static assignment of conditional branches to BHT
+// entries by minimum-conflict graph coloring, optionally refined with
+// branch classification, and reports its conflict cost against the
+// conventional PC-indexed baseline. With -find-size it runs the Table
+// 3/4 search for the smallest sufficient table.
+//
+// Usage:
+//
+//	allocate -bench li [-size 128] [-classify] [-find-size]
+//	         [-baseline 1024] [-inputs ref,a,b]
+//
+// Passing several -inputs merges their profiles first (the paper's
+// cumulative-profile approach, Section 5.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "built-in benchmark")
+		inputs    = flag.String("inputs", "ref", "comma-separated input sets to profile and merge (ref,a,b)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		size      = flag.Int("size", 128, "BHT size to allocate into")
+		useClass  = flag.Bool("classify", false, "use branch classification (Section 5.2)")
+		findSize  = flag.Bool("find-size", false, "search the smallest BHT size beating the baseline (Tables 3/4)")
+		baseline  = flag.Int("baseline", 1024, "conventional baseline BHT size")
+		threshold = flag.Uint64("threshold", core.DefaultThreshold, "conflict edge pruning threshold")
+		window    = flag.Int("window", 0, "interleave scan window (0 = exact)")
+	)
+	flag.Parse()
+	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "allocate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window int) error {
+	if bench == "" {
+		return fmt.Errorf("need -bench")
+	}
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+
+	var profiles []*profile.Profile
+	for _, name := range strings.Split(inputs, ",") {
+		var in workload.InputSet
+		switch strings.TrimSpace(name) {
+		case "ref":
+			in = workload.InputRef
+		case "a":
+			in = workload.InputA
+		case "b":
+			in = workload.InputB
+		default:
+			return fmt.Errorf("unknown input set %q", name)
+		}
+		var opts []profile.Option
+		if window > 0 {
+			opts = append(opts, profile.WithWindow(window))
+		}
+		prof := profile.NewProfiler(bench, in.Name, opts...)
+		stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale}, prof)
+		if err != nil {
+			return err
+		}
+		prof.SetInstructions(stats.Instructions)
+		profiles = append(profiles, prof.Profile())
+		fmt.Printf("profiled %s/%s: %d dynamic branches, %d static\n",
+			bench, in.Name, stats.CondBranches, profiles[len(profiles)-1].NumBranches())
+	}
+	prof, err := profile.Merge(profiles...)
+	if err != nil {
+		return err
+	}
+	if len(profiles) > 1 {
+		fmt.Printf("merged %d profiles: %d static branches\n", len(profiles), prof.NumBranches())
+	}
+
+	if useClass {
+		cls := classify.Classify(prof, classify.Default())
+		m, bt, bnt := cls.Counts()
+		fmt.Printf("classification: %d mixed, %d biased-taken, %d biased-not-taken (%.1f%% of dynamic branches biased)\n",
+			m, bt, bnt, 100*cls.BiasedDynamicFraction(prof))
+	}
+
+	cfg := core.AllocationConfig{
+		TableSize:         size,
+		Threshold:         threshold,
+		UseClassification: useClass,
+	}
+
+	if findSize {
+		res, err := core.RequiredBHTSize(prof, baseline, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nconventional %d-entry baseline conflict cost: %d\n", baseline, res.BaselineCost)
+		fmt.Printf("required BHT size: %d (alloc cost %d, %d colorings)\n",
+			res.RequiredSize, res.AllocCost, res.Colorings)
+		return nil
+	}
+
+	alloc, err := core.Allocate(prof, cfg)
+	if err != nil {
+		return err
+	}
+	convCost := core.ConventionalCost(prof, baseline, threshold, alloc.Classification)
+	occupied, maxLoad := alloc.Map.LoadStats()
+	fmt.Printf("\nallocation into %d entries: conflict cost %d\n", size, alloc.ConflictCost)
+	fmt.Printf("conventional %d-entry cost:  %d\n", baseline, convCost)
+	fmt.Printf("entries occupied: %d/%d, max branches per entry: %d\n", occupied, size, maxLoad)
+	if alloc.Map.ReservedTaken >= 0 {
+		fmt.Printf("reserved entries: %d (biased taken), %d (biased not-taken)\n",
+			alloc.Map.ReservedTaken, alloc.Map.ReservedNotTaken)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+// Command wsanalyze runs branch working set analysis (paper Section 4)
+// on a built-in benchmark or a recorded trace file.
+//
+// Usage:
+//
+//	wsanalyze -bench gcc [-input ref] [-scale f] [-threshold n]
+//	          [-window n] [-definition cliques|partition] [-top n]
+//	wsanalyze -trace file.bwt [-threshold n] ...
+//	wsanalyze -program file.s [-input ref] ...
+//
+// It prints the working-set summary (the benchmark's Table 2 row) and
+// the largest sets, and can dump the recorded trace with -save.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "", "built-in benchmark to run (see -list)")
+		input       = flag.String("input", "ref", "input set: ref, a, or b")
+		scale       = flag.Float64("scale", 1.0, "workload scale factor")
+		traceFile   = flag.String("trace", "", "analyze a recorded trace file instead of running a benchmark")
+		programFile = flag.String("program", "", "run and analyze an assembly program file instead of a built-in benchmark")
+		save        = flag.String("save", "", "save the recorded trace to this file")
+		threshold   = flag.Uint64("threshold", core.DefaultThreshold, "conflict edge pruning threshold")
+		window      = flag.Int("window", 0, "interleave scan window (0 = exact/unbounded)")
+		definition  = flag.String("definition", "cliques", "working-set definition: cliques or partition")
+		top         = flag.Int("top", 5, "print the N largest working sets")
+		coverage    = flag.Float64("coverage", 0, "frequency-filter coverage (0 = the spec's default)")
+		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Specs() {
+			fmt.Printf("%-10s %s (%d static branches)\n", s.Name, s.Description, s.StaticBranches())
+		}
+		return
+	}
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *definition, *top, *coverage); err != nil {
+		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func inputSet(name string) (workload.InputSet, error) {
+	switch name {
+	case "ref":
+		return workload.InputRef, nil
+	case "a":
+		return workload.InputA, nil
+	case "b":
+		return workload.InputB, nil
+	}
+	return workload.InputSet{}, fmt.Errorf("unknown input set %q (want ref, a, or b)", name)
+}
+
+func loadTrace(bench, input string, scale float64, traceFile, programFile, save string, coverage float64) (*trace.Trace, float64, error) {
+	if programFile != "" {
+		f, err := os.Open(programFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		prog, err := program.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+		in, err := inputSet(input)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec := trace.NewRecorder(prog.Name, in.Name)
+		stats, err := vm.Run(prog, vm.Config{DataSeed: in.Seed, Sink: rec})
+		if err != nil {
+			return nil, 0, err
+		}
+		if coverage == 0 {
+			coverage = 1.0
+		}
+		return rec.Finish(stats.Instructions), coverage, nil
+	}
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		if coverage == 0 {
+			coverage = 1.0
+		}
+		return tr, coverage, nil
+	}
+	if bench == "" {
+		return nil, 0, fmt.Errorf("need -bench, -trace, or -program (try -list)")
+	}
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, 0, err
+	}
+	in, err := inputSet(input)
+	if err != nil {
+		return nil, 0, err
+	}
+	tr, _, err := spec.Run(workload.RunConfig{Input: in, Scale: scale})
+	if err != nil {
+		return nil, 0, err
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, 0, err
+		}
+		fmt.Printf("trace saved to %s (%d events)\n", save, len(tr.Events))
+	}
+	if coverage == 0 {
+		coverage = spec.AnalyzeCoverage
+	}
+	return tr, coverage, nil
+}
+
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window int, definition string, top int, coverage float64) error {
+	var def core.SetDefinition
+	switch definition {
+	case "cliques":
+		def = core.MaximalCliques
+	case "partition":
+		def = core.GreedyPartition
+	default:
+		return fmt.Errorf("unknown definition %q (want cliques or partition)", definition)
+	}
+
+	tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage)
+	if err != nil {
+		return err
+	}
+
+	filter := tr.FilterByCoverage(cov)
+	fmt.Printf("benchmark %s (input %s): %d dynamic branches, %d static\n",
+		tr.Benchmark, tr.InputSet, filter.DynamicTotal, filter.StaticTotal)
+	fmt.Printf("analyzed: %d dynamic (%.2f%%), %d static\n",
+		filter.DynamicKept, 100*filter.Coverage(), filter.StaticKept)
+
+	var opts []profile.Option
+	if window > 0 {
+		opts = append(opts, profile.WithWindow(window))
+		fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
+	}
+	prof := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
+	filter.Kept.Replay(prof)
+	prof.SetInstructions(tr.Instructions)
+
+	res, err := core.Analyze(prof.Profile(), core.AnalysisConfig{
+		Threshold:  threshold,
+		Definition: def,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nconflict graph: %s (threshold %d)\n", res.Graph, threshold)
+	fmt.Printf("working sets (%s): %d", def, res.NumSets())
+	if res.Truncated {
+		fmt.Printf("+ (enumeration budget reached; counts are a lower bound)")
+	}
+	fmt.Println()
+	fmt.Printf("average static size:  %.1f\n", res.AvgStaticSize())
+	fmt.Printf("average dynamic size: %.1f\n", res.AvgDynamicSize())
+	fmt.Printf("largest set:          %d\n", res.MaxSetSize())
+	fmt.Printf("isolated branches:    %d\n", res.IsolatedBranches)
+
+	if top > len(res.Sets) {
+		top = len(res.Sets)
+	}
+	if top > 0 {
+		fmt.Printf("\ntop %d sets by size:\n", top)
+		for i := 0; i < top; i++ {
+			ws := res.Sets[i]
+			fmt.Printf("  #%d: %d branches, %d executions\n", i+1, ws.Size(), ws.ExecWeight)
+		}
+	}
+	return nil
+}

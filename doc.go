@@ -1,0 +1,36 @@
+// Package repro reproduces "Analyzing the Working Set Characteristics of
+// Branch Execution" (Sangwook P. Kim and Gary S. Tyson, MICRO 1998) as a
+// complete, self-contained Go system.
+//
+// The paper introduces branch working set analysis — a profile-based
+// technique that time-stamps conditional branch executions, summarizes
+// their interleaving as a weighted branch conflict graph, and reads the
+// graph's completely-connected subgraphs as the program's branch working
+// sets — and applies it to branch allocation: compiler-directed
+// assignment of branches to Branch History Table entries by graph
+// coloring, which removes most BHT interference in a PAg two-level
+// predictor.
+//
+// This module contains everything needed to regenerate the paper's
+// evaluation (Tables 1-4 and Figures 3-4):
+//
+//   - internal/isa, internal/program, internal/vm: a small RISC machine
+//     and interpreter standing in for SimpleScalar;
+//   - internal/workload: a 13-benchmark synthetic suite whose
+//     control-flow shape is tuned to the paper's SPECint95/UNIX
+//     measurements;
+//   - internal/trace, internal/profile: branch traces and the
+//     interleave profiler;
+//   - internal/graph, internal/classify, internal/core: the conflict
+//     graph, taken-rate classification, working-set analysis and the
+//     branch allocator (the paper's contribution);
+//   - internal/predict: PAg and baseline predictors with pluggable BHT
+//     indexing;
+//   - internal/harness: the experiment definitions;
+//   - cmd/tables, cmd/wsanalyze, cmd/allocate, cmd/branchsim: CLIs;
+//   - examples/: runnable walkthroughs of the public API.
+//
+// This package is a thin facade over those pieces for programmatic use;
+// see api.go. Start with README.md, DESIGN.md (system inventory and
+// per-experiment index) and EXPERIMENTS.md (paper-vs-measured results).
+package repro

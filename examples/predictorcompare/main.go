@@ -1,0 +1,105 @@
+// Predictor comparison: replays one benchmark's branch stream through
+// the whole predictor zoo — the paper's PAg configurations plus the
+// classic baselines its related-work section discusses (bimodal, GAg,
+// gshare, profile-guided static) — and prints a ranked accuracy table.
+// It also demonstrates the Section 5.2 option of statically predicting
+// highly biased branches and letting the dynamic predictor handle only
+// the mixed ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/classify"
+	"repro/internal/predict"
+)
+
+const (
+	benchmark = "chess"
+	phtSize   = 4096
+	bhtSize   = 1024
+)
+
+func main() {
+	tr, err := repro.Run(benchmark, repro.RunConfig{Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := repro.Benchmark(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := repro.ProfileTrace(tr, 2*spec.WorkingSetSize())
+	fmt.Printf("%s: %d dynamic branches, %d static\n\n", benchmark, len(tr.Events), prof.NumBranches())
+
+	alloc, err := repro.Allocate(prof, repro.AllocationConfig{TableSize: bhtSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	classAlloc, err := repro.Allocate(prof, repro.AllocationConfig{TableSize: bhtSize, UseClassification: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Biased-branch map for the hybrid static/dynamic predictor.
+	cls := classify.Classify(prof, classify.Default())
+	biased := make(map[uint64]bool)
+	for id, c := range cls.Classes {
+		switch c {
+		case classify.BiasedTaken:
+			biased[prof.PCs[id]] = true
+		case classify.BiasedNotTaken:
+			biased[prof.PCs[id]] = false
+		}
+	}
+
+	// Profile-guided static directions.
+	static := make(map[uint64]bool)
+	for id := range prof.PCs {
+		static[prof.PCs[id]] = prof.TakenRate(int32(id)) >= 0.5
+	}
+
+	mk := func(p predict.Predictor, err error) predict.Predictor {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	hybridInner := mk(predict.NewPAg(predict.PCModIndexer{Entries: bhtSize}, phtSize))
+	zoo := []predict.Predictor{
+		mk(predict.NewPAg(predict.PCModIndexer{Entries: bhtSize}, phtSize)),
+		mk(predict.NewPAg(predict.AllocIndexer{Map: alloc.Map}, phtSize)),
+		mk(predict.NewPAg(predict.AllocIndexer{Map: classAlloc.Map}, phtSize)),
+		mk(predict.NewPAg(predict.NewIdealIndexer(), phtSize)),
+		predict.NewHybridBiasedStatic(biased, hybridInner),
+		mk(predict.NewBimodal(2048)),
+		mk(predict.NewGAg(phtSize)),
+		mk(predict.NewGshare(phtSize)),
+		predict.NewProfileStatic(static),
+		predict.AlwaysTaken{},
+	}
+
+	sims := make([]*predict.Sim, len(zoo))
+	for i, p := range zoo {
+		sims[i] = predict.NewSim(p)
+	}
+	for _, e := range tr.Events {
+		for _, s := range sims {
+			s.Branch(e.PC, e.Taken, e.ICount)
+		}
+	}
+
+	results := make([]predict.Result, len(sims))
+	for i, s := range sims {
+		results[i] = s.Result()
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Rate() < results[j].Rate() })
+
+	fmt.Printf("%-45s %s\n", "predictor", "mispredict rate")
+	for _, r := range results {
+		fmt.Printf("%-45s %.4f\n", r.Name, r.Rate())
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: the full pipeline of the paper on one benchmark in ~40
+// lines — run a workload, profile branch interleaving, extract the
+// branch working sets, build a branch allocation, and compare predictor
+// accuracy with and without it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Execute a benchmark and record its conditional-branch trace.
+	tr, err := repro.Run("compress", repro.RunConfig{Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %s: %d dynamic conditional branches\n", tr.Benchmark, len(tr.Events))
+
+	// 2. Profile: time-stamp interleaving -> pairwise conflict counts.
+	prof := repro.ProfileTrace(tr, 0)
+	fmt.Printf("profiled %d static branches, %d interleaving pairs\n",
+		prof.NumBranches(), prof.Pairs.Len())
+
+	// 3. Branch working set analysis (paper Section 4).
+	analysis, err := repro.Analyze(prof, repro.AnalysisConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("working sets: %d, average size %.0f static / %.0f dynamic, largest %d\n",
+		analysis.NumSets(), analysis.AvgStaticSize(), analysis.AvgDynamicSize(), analysis.MaxSetSize())
+
+	// 4. Branch allocation (paper Section 5): color the conflict graph
+	//    into a 1024-entry BHT.
+	alloc, err := repro.Allocate(prof, repro.AllocationConfig{TableSize: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	occupied, maxLoad := alloc.Map.LoadStats()
+	fmt.Printf("allocation: %d branches over %d entries (max %d per entry), conflict cost %d\n",
+		alloc.Map.Allocated(), occupied, maxLoad, alloc.ConflictCost)
+
+	// 5. Compare predictors on the same stream: conventional PC-indexed
+	//    PAg vs. allocation-indexed PAg vs. interference-free.
+	conv, err := repro.SimulatePAg(tr, 1024, 4096, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allocated, err := repro.SimulatePAg(tr, 1024, 4096, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ifree, err := repro.SimulateInterferenceFree(tr, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("conventional PAg-1024:   %.4f mispredict rate\n", conv.Rate())
+	fmt.Printf("allocated PAg-1024:      %.4f\n", allocated.Rate())
+	fmt.Printf("interference-free PAg:   %.4f\n", ifree.Rate())
+	if conv.Rate() > 0 {
+		fmt.Printf("allocation removed %.0f%% of the mispredictions the conventional index adds\n",
+			100*(conv.Rate()-allocated.Rate())/conv.Rate())
+	}
+}

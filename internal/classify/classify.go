@@ -1,0 +1,122 @@
+// Package classify implements taken-frequency branch classification
+// (Chang et al., adopted by the paper in Section 5.2): branches that are
+// highly biased towards one direction — taken more than 99% of the time
+// or less than 1% — behave alike, so conflicts between two branches of
+// the same biased class carry no negative interference and can be
+// ignored by the allocator; the biased branches themselves can share
+// reserved history entries.
+package classify
+
+import "repro/internal/profile"
+
+// Class is a branch behaviour class.
+type Class uint8
+
+// Classes, in the paper's taxonomy.
+const (
+	// Mixed branches change direction often enough that they need
+	// private history.
+	Mixed Class = iota
+	// BiasedTaken branches are taken more than the taken threshold.
+	BiasedTaken
+	// BiasedNotTaken branches are taken less than the not-taken
+	// threshold.
+	BiasedNotTaken
+)
+
+func (c Class) String() string {
+	switch c {
+	case Mixed:
+		return "mixed"
+	case BiasedTaken:
+		return "biased-taken"
+	case BiasedNotTaken:
+		return "biased-not-taken"
+	}
+	return "unknown"
+}
+
+// Thresholds configures the bias cutoffs.
+type Thresholds struct {
+	// Taken is the minimum taken rate for BiasedTaken. The paper uses
+	// "greater than 99% taken".
+	Taken float64
+	// NotTaken is the maximum taken rate for BiasedNotTaken. The paper
+	// uses "less than 1% taken".
+	NotTaken float64
+}
+
+// Default returns the paper's 99%/1% thresholds.
+func Default() Thresholds { return Thresholds{Taken: 0.99, NotTaken: 0.01} }
+
+// Of classifies a single branch from its execution counts.
+func (t Thresholds) Of(exec, taken uint64) Class {
+	if exec == 0 {
+		return Mixed
+	}
+	rate := float64(taken) / float64(exec)
+	switch {
+	case rate > t.Taken:
+		return BiasedTaken
+	case rate < t.NotTaken:
+		return BiasedNotTaken
+	}
+	return Mixed
+}
+
+// Classification holds per-branch classes for one profile.
+type Classification struct {
+	Thresholds Thresholds
+	// Classes[id] is the class of profile branch id.
+	Classes []Class
+}
+
+// Classify classifies every branch in p.
+func Classify(p *profile.Profile, t Thresholds) *Classification {
+	out := &Classification{Thresholds: t, Classes: make([]Class, p.NumBranches())}
+	for id := range out.Classes {
+		out.Classes[id] = t.Of(p.Exec[id], p.Taken[id])
+	}
+	return out
+}
+
+// Counts returns the number of branches in each class.
+func (c *Classification) Counts() (mixed, biasedTaken, biasedNotTaken int) {
+	for _, cl := range c.Classes {
+		switch cl {
+		case Mixed:
+			mixed++
+		case BiasedTaken:
+			biasedTaken++
+		case BiasedNotTaken:
+			biasedNotTaken++
+		}
+	}
+	return mixed, biasedTaken, biasedNotTaken
+}
+
+// BiasedDynamicFraction returns the fraction of dynamic branch
+// executions attributable to biased branches — a measure of how much
+// predictor pressure classification removes.
+func (c *Classification) BiasedDynamicFraction(p *profile.Profile) float64 {
+	var biased, total uint64
+	for id, cl := range c.Classes {
+		total += p.Exec[id]
+		if cl != Mixed {
+			biased += p.Exec[id]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(biased) / float64(total)
+}
+
+// SameBiasedClass reports whether a and b are both biased and in the
+// same class — the condition under which the allocator drops their
+// conflict edge (Section 5.2: "If two conflicting branches are in the
+// same highly biased class, we ignore the conflict").
+func (c *Classification) SameBiasedClass(a, b int32) bool {
+	ca, cb := c.Classes[a], c.Classes[b]
+	return ca != Mixed && ca == cb
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+// AllocationMap is the compiler's product: a static assignment of branch
+// PCs to BHT entries (paper Section 5). Branches absent from the map —
+// never profiled, e.g. library code under an unmodified ISA — fall back
+// to conventional PC-modulo indexing, as the paper notes they must.
+type AllocationMap struct {
+	// TableSize is the BHT entry count the map was built for.
+	TableSize int
+	// Index maps a branch's byte PC to its assigned entry.
+	Index map[uint64]int
+	// ReservedTaken and ReservedNotTaken are the entries set aside for
+	// biased branches when classification was used; -1 when unused.
+	ReservedTaken, ReservedNotTaken int
+}
+
+// EntryFor returns the BHT entry for the branch at pc, falling back to
+// PC-modulo indexing for unallocated branches.
+func (m *AllocationMap) EntryFor(pc uint64) int {
+	if e, ok := m.Index[pc]; ok {
+		return e
+	}
+	return ConventionalIndex(pc, m.TableSize)
+}
+
+// Allocated returns the number of branches with explicit assignments.
+func (m *AllocationMap) Allocated() int { return len(m.Index) }
+
+// ConventionalIndex is the baseline hardware mapping: the low-order bits
+// of the instruction fetch address (word-aligned PC modulo table size).
+func ConventionalIndex(pc uint64, tableSize int) int {
+	return int((pc / 4) % uint64(tableSize))
+}
+
+// AllocationConfig configures Allocate.
+type AllocationConfig struct {
+	// TableSize is the BHT entry count to allocate into; must be >= 1
+	// (>= 3 with classification: two reserved entries plus at least one
+	// free).
+	TableSize int
+	// Threshold prunes conflict edges, as in analysis; 0 selects
+	// DefaultThreshold.
+	Threshold uint64
+	// UseClassification enables the Section 5.2 refinement: conflicts
+	// between same-class highly biased branches are ignored, and biased
+	// branches are pinned to two reserved entries.
+	UseClassification bool
+	// ClassThresholds overrides the 99%/1% bias cutoffs when
+	// UseClassification is set; the zero value selects the defaults.
+	ClassThresholds classify.Thresholds
+}
+
+func (c AllocationConfig) classThresholds() classify.Thresholds {
+	if c.ClassThresholds == (classify.Thresholds{}) {
+		return classify.Default()
+	}
+	return c.ClassThresholds
+}
+
+// Allocation is the result of one allocation run.
+type Allocation struct {
+	Map    *AllocationMap
+	Config AllocationConfig
+	// Graph is the conflict graph the allocator colored (after any
+	// classification edge removal).
+	Graph *graph.Graph
+	// ConflictCost is the summed interleave weight of branch pairs
+	// sharing an entry under the allocation.
+	ConflictCost uint64
+	// Classification is non-nil when classification was used.
+	Classification *classify.Classification
+}
+
+// Allocate computes a branch allocation for p under cfg.
+func Allocate(p *profile.Profile, cfg AllocationConfig) (*Allocation, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil profile")
+	}
+	minSize := 1
+	if cfg.UseClassification {
+		minSize = 3
+	}
+	if cfg.TableSize < minSize {
+		return nil, fmt.Errorf("core: table size %d below minimum %d", cfg.TableSize, minSize)
+	}
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+
+	g := p.BuildGraph(threshold)
+	cls := classificationFor(p, cfg.UseClassification, cfg.classThresholds())
+
+	spec := graph.ColoringSpec{K: cfg.TableSize}
+	reservedT, reservedNT := -1, -1
+	if cls != nil {
+		// Section 5.2: drop conflicts between branches in the same
+		// highly biased class; their histories agree anyway.
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.SortedNeighbors(int32(u)) {
+				if int32(u) < v && cls.SameBiasedClass(int32(u), v) {
+					g.RemoveEdge(int32(u), v)
+				}
+			}
+		}
+		// Reserve two entries and pin biased branches to them.
+		reservedT, reservedNT = 0, 1
+		spec.Pinned = make(map[int32]int)
+		spec.FirstFree = 2
+		for id, c := range cls.Classes {
+			switch c {
+			case classify.BiasedTaken:
+				spec.Pinned[int32(id)] = reservedT
+			case classify.BiasedNotTaken:
+				spec.Pinned[int32(id)] = reservedNT
+			}
+		}
+	}
+
+	coloring, err := g.Color(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &AllocationMap{
+		TableSize:        cfg.TableSize,
+		Index:            make(map[uint64]int, p.NumBranches()),
+		ReservedTaken:    reservedT,
+		ReservedNotTaken: reservedNT,
+	}
+	for id, pc := range p.PCs {
+		m.Index[pc] = coloring.Colors[id]
+	}
+
+	return &Allocation{
+		Map:            m,
+		Config:         cfg,
+		Graph:          g,
+		ConflictCost:   g.ConflictCost(coloring.Colors),
+		Classification: cls,
+	}, nil
+}
+
+// ConventionalCost returns the conflict cost of the baseline PC-modulo
+// mapping at tableSize on p's pruned conflict graph — the quantity
+// branch allocation must beat (Tables 3 and 4 compare against
+// tableSize 1024). When cls is non-nil, same-class biased conflicts are
+// ignored for consistency with the classified allocation it is compared
+// against.
+func ConventionalCost(p *profile.Profile, tableSize int, threshold uint64, cls *classify.Classification) uint64 {
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	g := p.BuildGraph(threshold)
+	if cls != nil {
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.SortedNeighbors(int32(u)) {
+				if int32(u) < v && cls.SameBiasedClass(int32(u), v) {
+					g.RemoveEdge(int32(u), v)
+				}
+			}
+		}
+	}
+	colors := make([]int, p.NumBranches())
+	for id, pc := range p.PCs {
+		colors[id] = ConventionalIndex(pc, tableSize)
+	}
+	return g.ConflictCost(colors)
+}
+
+// SizeSearchResult reports a required-BHT-size search (one row of
+// Table 3 or Table 4).
+type SizeSearchResult struct {
+	// RequiredSize is the smallest table size found whose allocated
+	// conflict cost is at or below the baseline cost.
+	RequiredSize int
+	// AllocCost is the allocation's conflict cost at RequiredSize.
+	AllocCost uint64
+	// BaselineCost is the conventional mapping's cost at BaselineSize.
+	BaselineCost uint64
+	// BaselineSize is the conventional table size compared against
+	// (1024 in the paper).
+	BaselineSize int
+	// Colorings counts how many allocations the search performed.
+	Colorings int
+}
+
+// RequiredBHTSize finds the smallest BHT size at which branch allocation
+// reduces table conflicts below the conventional baselineSize-entry
+// PC-indexed BHT (Section 5.1, Table 3; with cfg.UseClassification,
+// Table 4).
+//
+// The search binary-searches [minSize, baselineSize] — allocation
+// conflict cost is non-increasing in table size for all graphs seen in
+// practice — then walks downward linearly to confirm minimality against
+// local non-monotonicity of the greedy coloring.
+func RequiredBHTSize(p *profile.Profile, baselineSize int, cfg AllocationConfig) (SizeSearchResult, error) {
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	var cls *classify.Classification
+	if cfg.UseClassification {
+		cls = classify.Classify(p, cfg.classThresholds())
+	}
+	baseline := ConventionalCost(p, baselineSize, threshold, cls)
+
+	res := SizeSearchResult{BaselineCost: baseline, BaselineSize: baselineSize}
+
+	minSize := 1
+	if cfg.UseClassification {
+		minSize = 3
+	}
+	costAt := func(size int) (uint64, error) {
+		c := cfg
+		c.TableSize = size
+		a, err := Allocate(p, c)
+		if err != nil {
+			return 0, err
+		}
+		res.Colorings++
+		return a.ConflictCost, nil
+	}
+
+	// The baseline cost can be zero (tiny program); any size where the
+	// allocator is also conflict-free qualifies.
+	lo, hi := minSize, baselineSize
+	best := -1
+	var bestCost uint64
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cost, err := costAt(mid)
+		if err != nil {
+			return res, err
+		}
+		if cost <= baseline {
+			best = mid
+			bestCost = cost
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == -1 {
+		// Even baselineSize entries cannot beat the baseline — possible
+		// only if the coloring is worse than PC hashing, which would be
+		// a real finding; report baselineSize with its cost.
+		cost, err := costAt(baselineSize)
+		if err != nil {
+			return res, err
+		}
+		res.RequiredSize = baselineSize
+		res.AllocCost = cost
+		return res, nil
+	}
+	// Downward confirmation walk: greedy coloring is not strictly
+	// monotone, so sizes just below the binary-search answer may also
+	// qualify. Walk down while they do.
+	for s := best - 1; s >= minSize; s-- {
+		cost, err := costAt(s)
+		if err != nil {
+			return res, err
+		}
+		if cost > baseline {
+			break
+		}
+		best = s
+		bestCost = cost
+	}
+	res.RequiredSize = best
+	res.AllocCost = bestCost
+	return res, nil
+}
+
+// EntryLoad describes how many branches share each BHT entry under an
+// allocation — a utilization report for DESIGN-level debugging and the
+// wsanalyze CLI.
+func (m *AllocationMap) EntryLoad() []int {
+	load := make([]int, m.TableSize)
+	for _, e := range m.Index {
+		if e >= 0 && e < m.TableSize {
+			load[e]++
+		}
+	}
+	return load
+}
+
+// LoadStats summarizes an entry-load distribution: occupied entries and
+// the maximum branches per entry.
+func (m *AllocationMap) LoadStats() (occupied, maxLoad int) {
+	for _, l := range m.EntryLoad() {
+		if l > 0 {
+			occupied++
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return occupied, maxLoad
+}
+
+// SortedPCs returns the allocated PCs in ascending order (deterministic
+// iteration for reports and tests).
+func (m *AllocationMap) SortedPCs() []uint64 {
+	pcs := make([]uint64, 0, len(m.Index))
+	for pc := range m.Index {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}

@@ -1,0 +1,74 @@
+package graph
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector used by the clique enumerator.
+// Dense bit operations make Bron-Kerbosch set intersections word-wide
+// instead of per-element map lookups.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// intersect stores a & c into dst (all same length).
+func (dst bitset) intersect(a, c bitset) {
+	for i := range dst {
+		dst[i] = a[i] & c[i]
+	}
+}
+
+// andNot stores a &^ c into dst.
+func (dst bitset) andNot(a, c bitset) {
+	for i := range dst {
+		dst[i] = a[i] &^ c[i]
+	}
+}
+
+// intersectionCount returns popcount(a & c) without allocating.
+func intersectionCount(a, c bitset) int {
+	total := 0
+	for i := range a {
+		total += bits.OnesCount64(a[i] & c[i])
+	}
+	return total
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// forEach calls f for each set bit in ascending order until f returns
+// false.
+func (b bitset) forEach(f func(i int32) bool) {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !f(int32(wi*64 + bit)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

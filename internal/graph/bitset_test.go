@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetClearHas(t *testing.T) {
+	b := newBitset(200)
+	for _, i := range []int32{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.has(i) {
+			t.Fatalf("fresh bitset has %d", i)
+		}
+		b.set(i)
+		if !b.has(i) {
+			t.Fatalf("set(%d) lost", i)
+		}
+	}
+	b.clear(64)
+	if b.has(64) || !b.has(63) || !b.has(65) {
+		t.Fatal("clear(64) disturbed neighbors")
+	}
+}
+
+func TestBitsetCountEmpty(t *testing.T) {
+	b := newBitset(130)
+	if !b.empty() || b.count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.set(129)
+	if b.empty() || b.count() != 1 {
+		t.Fatal("count after one set wrong")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	a := newBitset(128)
+	c := newBitset(128)
+	for i := int32(0); i < 128; i += 2 {
+		a.set(i) // evens
+	}
+	for i := int32(0); i < 128; i += 3 {
+		c.set(i) // multiples of 3
+	}
+	inter := newBitset(128)
+	inter.intersect(a, c) // multiples of 6
+	if inter.count() != 22 {
+		t.Fatalf("intersection count %d, want 22", inter.count())
+	}
+	if intersectionCount(a, c) != 22 {
+		t.Fatalf("intersectionCount %d", intersectionCount(a, c))
+	}
+	diff := newBitset(128)
+	diff.andNot(a, c) // evens not multiples of 3
+	if diff.count() != 64-22 {
+		t.Fatalf("andNot count %d, want 42", diff.count())
+	}
+}
+
+func TestBitsetClone(t *testing.T) {
+	a := newBitset(64)
+	a.set(5)
+	c := a.clone()
+	c.set(6)
+	if a.has(6) || !c.has(5) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	b := newBitset(200)
+	want := []int32{3, 64, 65, 190}
+	for _, i := range want {
+		b.set(i)
+	}
+	var got []int32
+	b.forEach(func(i int32) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("forEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetForEachEarlyStop(t *testing.T) {
+	b := newBitset(64)
+	b.set(1)
+	b.set(2)
+	b.set(3)
+	n := 0
+	b.forEach(func(int32) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBitsetProperty(t *testing.T) {
+	f := func(idx []uint8) bool {
+		b := newBitset(256)
+		ref := make(map[int32]bool)
+		for _, i := range idx {
+			b.set(int32(i))
+			ref[int32(i)] = true
+		}
+		if b.count() != len(ref) {
+			return false
+		}
+		ok := true
+		b.forEach(func(i int32) bool {
+			if !ref[i] {
+				ok = false
+			}
+			delete(ref, i)
+			return true
+		})
+		return ok && len(ref) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package graph implements the weighted undirected graph machinery
+// behind the branch conflict graph (paper Section 4.1, Figure 2).
+//
+// Nodes are dense integer ids assigned by the caller (package core maps
+// static branch PCs to ids). Edge weights are interleave counts. The
+// package provides the operations the paper's analysis needs: threshold
+// pruning, working-set extraction (maximal cliques and a greedy clique
+// partition), and Chaitin-style graph coloring with conflict
+// minimization instead of spilling (Section 5.1).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected graph over nodes 0..N()-1. The zero
+// value is unusable; construct with New.
+type Graph struct {
+	adj []map[int32]uint64
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[int32]uint64, n)}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge accumulates weight w onto the undirected edge {u, v}.
+// Self-loops are ignored: a branch does not conflict with itself.
+func (g *Graph) AddEdge(u, v int32, w uint64) {
+	if u == v {
+		return
+	}
+	g.addHalf(u, v, w)
+	g.addHalf(v, u, w)
+}
+
+func (g *Graph) addHalf(u, v int32, w uint64) {
+	m := g.adj[u]
+	if m == nil {
+		m = make(map[int32]uint64)
+		g.adj[u] = m
+	}
+	m[v] += w
+}
+
+// Weight returns the weight of edge {u, v}, or 0 if absent.
+func (g *Graph) Weight(u, v int32) uint64 {
+	if int(u) >= len(g.adj) || g.adj[u] == nil {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int32) bool { return g.Weight(u, v) > 0 }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int32) int { return len(g.adj[u]) }
+
+// Neighbors calls f for each neighbor of u with the edge weight.
+// Iteration order is unspecified; callers needing determinism should
+// use SortedNeighbors.
+func (g *Graph) Neighbors(u int32, f func(v int32, w uint64)) {
+	for v, w := range g.adj[u] {
+		f(v, w)
+	}
+}
+
+// SortedNeighbors returns u's neighbors in ascending id order.
+func (g *Graph) SortedNeighbors(u int32) []int32 {
+	ns := make([]int32, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		ns = append(ns, v)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// NumEdges returns the number of distinct undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() uint64 {
+	var total uint64
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if int32(u) < v {
+				total += w
+			}
+		}
+	}
+	return total
+}
+
+// Prune returns a new graph retaining only edges with weight >=
+// threshold — the paper's refinement step that drops small, incidental
+// conflicts (Section 4.2; threshold 100 in the paper).
+func (g *Graph) Prune(threshold uint64) *Graph {
+	out := New(g.N())
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if int32(u) < v && w >= threshold {
+				out.AddEdge(int32(u), v, w)
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the connected components as sorted node slices,
+// ordered by their smallest member. Isolated nodes form singleton
+// components.
+func (g *Graph) Components() [][]int32 {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int32
+	stack := make([]int32, 0, 64)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		stack = append(stack[:0], int32(start))
+		comp := []int32{}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.N())
+	for u := range g.adj {
+		if g.adj[u] == nil {
+			continue
+		}
+		m := make(map[int32]uint64, len(g.adj[u]))
+		for v, w := range g.adj[u] {
+			m[v] = w
+		}
+		out.adj[u] = m
+	}
+	return out
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int32) {
+	if g.adj[u] != nil {
+		delete(g.adj[u], v)
+	}
+	if g.adj[v] != nil {
+		delete(g.adj[v], u)
+	}
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes=%d edges=%d weight=%d}", g.N(), g.NumEdges(), g.TotalWeight())
+}

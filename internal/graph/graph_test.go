@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAddEdgeAccumulates(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 0, 5)
+	if g.Weight(0, 1) != 15 || g.Weight(1, 0) != 15 {
+		t.Fatalf("weights %d/%d, want 15", g.Weight(0, 1), g.Weight(1, 0))
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1, 100)
+	if g.NumEdges() != 0 || g.Degree(1) != 0 {
+		t.Fatal("self loop stored")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(0, 3, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Fatalf("degrees %d/%d", g.Degree(0), g.Degree(1))
+	}
+	ns := g.SortedNeighbors(0)
+	if len(ns) != 3 || ns[0] != 1 || ns[2] != 3 {
+		t.Fatalf("neighbors %v", ns)
+	}
+	var total uint64
+	g.Neighbors(0, func(_ int32, w uint64) { total += w })
+	if total != 6 {
+		t.Fatalf("neighbor weight sum %d", total)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 20)
+	if g.TotalWeight() != 30 {
+		t.Fatalf("total weight %d", g.TotalWeight())
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 99)
+	g.AddEdge(1, 2, 100)
+	g.AddEdge(2, 3, 101)
+	p := g.Prune(100)
+	if p.NumEdges() != 2 {
+		t.Fatalf("pruned edges = %d", p.NumEdges())
+	}
+	if p.HasEdge(0, 1) {
+		t.Fatal("sub-threshold edge survived")
+	}
+	if !p.HasEdge(1, 2) || !p.HasEdge(2, 3) {
+		t.Fatal("at/above-threshold edges lost")
+	}
+	// Original unchanged.
+	if g.NumEdges() != 3 {
+		t.Fatal("prune mutated the original")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3 (two clusters + isolated 5)", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 5 {
+		t.Fatalf("isolated component %v", comps[2])
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	c := g.Clone()
+	c.AddEdge(0, 2, 7)
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || g.Degree(0) != 0 || g.Degree(1) != 0 {
+		t.Fatal("edge not removed")
+	}
+	g.RemoveEdge(0, 2) // absent: no-op
+}
+
+func TestWeightOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.Weight(0, 1) != 0 {
+		t.Fatal("empty weight nonzero")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	if s := g.String(); s != "graph{nodes=2 edges=1 weight=3}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	h := g.DegreeHistogram()
+	if h[2] != 1 || h[1] != 2 || h[0] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestHeaviestEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 50)
+	g.AddEdge(2, 3, 20)
+	top := g.HeaviestEdges(2)
+	if len(top) != 2 || top[0][2] != 50 || top[1][2] != 20 {
+		t.Fatalf("heaviest %v", top)
+	}
+	all := g.HeaviestEdges(10)
+	if len(all) != 3 {
+		t.Fatalf("overflow k returned %d", len(all))
+	}
+}
+
+// randomGraph builds an Erdos-Renyi style weighted graph.
+func randomGraph(r *rng.Xoshiro256, n int, p float64, maxW int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(int32(u), int32(v), uint64(r.Intn(maxW)+1))
+			}
+		}
+	}
+	return g
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint16) bool {
+		n := int(seed%40) + 1
+		g := randomGraph(r, n, 0.1, 10)
+		comps := g.Components()
+		seen := make([]bool, n)
+		total := 0
+		for _, c := range comps {
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneMonotoneProperty(t *testing.T) {
+	r := rng.New(11)
+	g := randomGraph(r, 30, 0.3, 100)
+	prev := g.NumEdges()
+	for _, th := range []uint64{1, 10, 50, 90, 101} {
+		p := g.Prune(th)
+		if p.NumEdges() > prev {
+			t.Fatalf("prune(%d) grew the graph", th)
+		}
+		prev = p.NumEdges()
+	}
+	if g.Prune(101).NumEdges() != 0 {
+		t.Fatal("prune above max weight left edges")
+	}
+}

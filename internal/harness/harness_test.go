@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var (
+	sharedSuite     *Suite
+	sharedSuiteOnce sync.Once
+)
+
+// testSuite returns a package-shared Suite at a small scale: the
+// benchmark artifacts (runs, profiles) are cached across test functions,
+// which keeps the full table/figure coverage affordable. Tests that
+// mutate suite state build their own.
+func testSuite() *Suite {
+	sharedSuiteOnce.Do(func() {
+		sharedSuite = NewSuite(Config{Scale: 0.2})
+	})
+	return sharedSuite
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Scale != 1 || c.Threshold != 100 || c.BaselineBHT != 1024 || c.PHTEntries != 4096 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if len(c.AllocBHTSizes) != 3 || c.AllocBHTSizes[2] != 1024 {
+		t.Fatalf("alloc sizes %v", c.AllocBHTSizes)
+	}
+	// Explicit values survive.
+	c = Config{Scale: 0.5, Threshold: 50}.Defaults()
+	if c.Scale != 0.5 || c.Threshold != 50 {
+		t.Fatal("explicit values overwritten")
+	}
+}
+
+func TestArtifactsCachedAndComplete(t *testing.T) {
+	s := NewSuite(Config{Scale: 0.05}) // private: exercises Drop
+	a1, err := s.Artifacts("compress", workload.InputRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Artifacts("compress", workload.InputRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("artifacts not cached")
+	}
+	if a1.Trace == nil || a1.Profile == nil || a1.Filter.Kept == nil {
+		t.Fatal("artifacts incomplete")
+	}
+	if a1.Profile.DynamicBranches() != a1.Filter.DynamicKept {
+		t.Fatal("profile not built from the filtered trace")
+	}
+	s.Drop("compress", workload.InputRef)
+	a3, err := s.Artifacts("compress", workload.InputRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Fatal("Drop did not evict")
+	}
+}
+
+func TestArtifactsUnknownBenchmark(t *testing.T) {
+	if _, err := testSuite().Artifacts("nope", workload.InputRef); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestTable1AllBenchmarks(t *testing.T) {
+	rows, err := testSuite().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalDynamic == 0 || r.AnalyzedDynamic == 0 {
+			t.Errorf("%s: empty row", r.Benchmark)
+		}
+		if r.Coverage <= 0 || r.Coverage > 1 {
+			t.Errorf("%s: coverage %v", r.Benchmark, r.Coverage)
+		}
+		if r.AnalyzedDynamic > r.TotalDynamic || r.StaticAnalyzed > r.StaticTotal {
+			t.Errorf("%s: analyzed exceeds total", r.Benchmark)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table2Benchmarks) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumSets == 0 {
+			t.Errorf("%s: no working sets", r.Benchmark)
+			continue
+		}
+		if r.AvgStatic <= 0 || r.AvgDynamic <= 0 {
+			t.Errorf("%s: non-positive averages", r.Benchmark)
+		}
+		if float64(r.MaxSet) < r.AvgStatic {
+			t.Errorf("%s: max %d below average %f", r.Benchmark, r.MaxSet, r.AvgStatic)
+		}
+	}
+}
+
+func TestTables3And4ShrinkWithClassification(t *testing.T) {
+	s := testSuite()
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3) != 14 || len(t4) != 14 {
+		t.Fatalf("row counts %d/%d, want 14", len(t3), len(t4))
+	}
+	baseline := s.Config().BaselineBHT
+	worse := 0
+	for i := range t3 {
+		if t3[i].Label != t4[i].Label {
+			t.Fatalf("row order mismatch: %s vs %s", t3[i].Label, t4[i].Label)
+		}
+		if t3[i].RequiredSize < 1 || t3[i].RequiredSize > baseline {
+			t.Errorf("%s: required %d outside (0,%d]", t3[i].Label, t3[i].RequiredSize, baseline)
+		}
+		if t3[i].AllocCost > t3[i].BaselineCost {
+			t.Errorf("%s: alloc cost above baseline at required size", t3[i].Label)
+		}
+		if t4[i].RequiredSize > t3[i].RequiredSize {
+			worse++
+		}
+	}
+	// Classification must shrink (or hold) the requirement for nearly
+	// every benchmark; tiny-scale noise may flip one.
+	if worse > 2 {
+		t.Fatalf("classification grew the table for %d/14 benchmarks", worse)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	s := testSuite()
+	f, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Classified {
+		t.Fatal("figure 3 marked classified")
+	}
+	if len(f.Rows) != len(FigureBenchmarks) {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		rates := append([]float64{r.Conventional, r.InterferenceFree}, r.Alloc...)
+		for _, rate := range rates {
+			if rate < 0 || rate > 1 {
+				t.Errorf("%s: rate %v out of range", r.Benchmark, rate)
+			}
+		}
+		if r.Branches == 0 {
+			t.Errorf("%s: no branches simulated", r.Benchmark)
+		}
+		// Interference-free is the floor among PAg configurations
+		// (allow small noise at tiny scale).
+		if r.InterferenceFree > r.Conventional+0.02 {
+			t.Errorf("%s: interference-free (%v) above conventional (%v)",
+				r.Benchmark, r.InterferenceFree, r.Conventional)
+		}
+	}
+	if f.Average.Benchmark != "average" {
+		t.Fatal("average row missing")
+	}
+	if f.Average.Conventional <= 0 {
+		t.Fatal("average conventional rate zero")
+	}
+}
+
+func TestFigure4ImprovesOnFigure3(t *testing.T) {
+	s := testSuite()
+	f3, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f4.Classified {
+		t.Fatal("figure 4 not marked classified")
+	}
+	// Classification must help the small-table configurations on
+	// average (its whole point), even at reduced scale.
+	if f4.Average.Alloc[0] > f3.Average.Alloc[0] {
+		t.Fatalf("classified alloc-16 (%v) worse than plain (%v)",
+			f4.Average.Alloc[0], f3.Average.Alloc[0])
+	}
+}
+
+func TestRenderersProduceAllRows(t *testing.T) {
+	s := testSuite()
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1(t1, false)
+	for _, r := range t1 {
+		if !strings.Contains(out, r.Benchmark) {
+			t.Errorf("table 1 render missing %s", r.Benchmark)
+		}
+	}
+	md := RenderTable1(t1, true)
+	if !strings.HasPrefix(md, "| benchmark") || !strings.Contains(md, "| --- |") {
+		t.Error("markdown table 1 malformed")
+	}
+
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable2(t2, false); !strings.Contains(out, "working sets") {
+		t.Error("table 2 render missing header")
+	}
+
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderSizeTable(t3, 1024, false); !strings.Contains(out, "perl_a") {
+		t.Error("size table render missing row labels")
+	}
+
+	f3, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := RenderFigure(f3, false)
+	if !strings.Contains(fig, "average") || !strings.Contains(fig, "alloc-128") {
+		t.Error("figure render incomplete")
+	}
+	if md := RenderFigure(f3, true); !strings.HasPrefix(md, "| benchmark") {
+		t.Error("markdown figure malformed")
+	}
+}
+
+func TestSizedBenchmarkRows(t *testing.T) {
+	rows := SizedBenchmarkRows()
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range rows {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"perl_a", "perl_b", "ss_a", "ss_b", "gs", "tex"} {
+		if !labels[want] {
+			t.Errorf("missing row %s", want)
+		}
+	}
+}
+
+func TestImprovementMetric(t *testing.T) {
+	r := FigureRow{Conventional: 0.10, Alloc: []float64{0.2, 0.09, 0.08}}
+	if imp := r.Improvement(); imp < 0.19 || imp > 0.21 {
+		t.Fatalf("improvement %v, want 0.2", imp)
+	}
+	if (FigureRow{}).Improvement() != 0 {
+		t.Fatal("empty improvement nonzero")
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var sb strings.Builder
+	s := NewSuite(Config{Scale: 0.05, Progress: &sb})
+	if _, err := s.Artifacts("compress", workload.InputRef); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "compress") {
+		t.Fatal("no progress output")
+	}
+}

@@ -1,0 +1,192 @@
+// Package harness defines and runs the paper's experiments: Tables 1-4
+// and Figures 3-4 (see DESIGN.md's per-experiment index). A Suite caches
+// the expensive per-benchmark artifacts — the executed trace, the
+// frequency-filtered trace, and the interleave profile — so that every
+// table and figure derived from one benchmark shares a single run, as
+// the paper's methodology does.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Config controls a Suite.
+type Config struct {
+	// Scale multiplies workload schedule lengths; 0 means 1.0.
+	Scale float64
+	// Threshold is the conflict-edge pruning threshold; 0 means the
+	// paper's 100.
+	Threshold uint64
+	// CliqueBudget bounds working-set enumeration; 0 means the package
+	// default.
+	CliqueBudget int
+	// BaselineBHT is the conventional BHT size compared against
+	// (paper: 1024).
+	BaselineBHT int
+	// PHTEntries is the second-level table size (paper: 4096).
+	PHTEntries int
+	// AllocBHTSizes are the allocated-BHT sizes of the figures
+	// (paper: 16, 128, 1024).
+	AllocBHTSizes []int
+	// ProfileWindow bounds the interleave scan depth: 0 picks an
+	// adaptive default of twice each benchmark's nominal working-set
+	// size; -1 disables the bound (the paper's exact formulation).
+	// Interleavings deeper than the window are not counted; with the
+	// default window those are dominated by long-range scene-to-scene
+	// pairs far below the pruning threshold, so the analysis keeps its
+	// shape while profiling time and pair memory drop severalfold. The
+	// window used is printed with each profile step and recorded in
+	// EXPERIMENTS.md.
+	ProfileWindow int
+	// Progress, when non-nil, receives one line per completed step.
+	Progress io.Writer
+}
+
+// Defaults fills unset fields with the paper's parameters.
+func (c Config) Defaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 100
+	}
+	if c.BaselineBHT == 0 {
+		c.BaselineBHT = 1024
+	}
+	if c.PHTEntries == 0 {
+		c.PHTEntries = 4096
+	}
+	if len(c.AllocBHTSizes) == 0 {
+		c.AllocBHTSizes = []int{16, 128, 1024}
+	}
+	return c
+}
+
+// Artifacts are the cached products of one benchmark run.
+type Artifacts struct {
+	Spec    workload.Spec
+	Input   workload.InputSet
+	VMStats vm.Stats
+	Trace   *trace.Trace       // full recorded trace
+	Filter  trace.FilterResult // frequency filter at the spec's coverage
+	Profile *profile.Profile   // interleave profile of the filtered trace
+}
+
+// Suite runs experiments with shared per-benchmark caching. It is not
+// safe for concurrent use.
+type Suite struct {
+	cfg   Config
+	cache map[string]*Artifacts
+}
+
+// NewSuite returns a Suite with cfg (unset fields defaulted).
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg.Defaults(), cache: make(map[string]*Artifacts)}
+}
+
+// Config returns the effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+func (s *Suite) progressf(format string, args ...any) {
+	if s.cfg.Progress != nil {
+		fmt.Fprintf(s.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// Artifacts runs (or returns the cached run of) one benchmark under one
+// input set: execute, record, frequency-filter, and profile.
+func (s *Suite) Artifacts(benchmark string, input workload.InputSet) (*Artifacts, error) {
+	key := benchmark + "/" + input.Name
+	if a, ok := s.cache[key]; ok {
+		return a, nil
+	}
+	spec, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	s.progressf("run %s (input %s, scale %.2f)", benchmark, input.Name, s.cfg.Scale)
+	tr, stats, err := spec.Run(workload.RunConfig{Input: input, Scale: s.cfg.Scale})
+	if err != nil {
+		return nil, fmt.Errorf("harness: running %s: %w", benchmark, err)
+	}
+
+	filter := tr.FilterByCoverage(spec.AnalyzeCoverage)
+
+	window := s.cfg.ProfileWindow
+	switch {
+	case window < 0:
+		window = 0 // exact, unbounded
+	case window == 0:
+		window = 2 * spec.WorkingSetSize()
+	}
+	s.progressf("profile %s: %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
+		benchmark, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
+	prof := profile.NewProfiler(benchmark, input.Name, profile.WithWindow(window))
+	filter.Kept.Replay(prof)
+	prof.SetInstructions(stats.Instructions)
+
+	a := &Artifacts{
+		Spec:    spec,
+		Input:   input,
+		VMStats: stats,
+		Trace:   tr,
+		Filter:  filter,
+		Profile: prof.Profile(),
+	}
+	s.cache[key] = a
+	return a, nil
+}
+
+// Drop evicts a benchmark's cached artifacts, freeing its trace memory.
+func (s *Suite) Drop(benchmark string, input workload.InputSet) {
+	delete(s.cache, benchmark+"/"+input.Name)
+}
+
+// Table2Benchmarks is the paper's Table 2 row set (gs and tex appear
+// only in the later tables).
+var Table2Benchmarks = []string{
+	"compress", "gcc", "ijpeg", "li", "m88ksim", "perl",
+	"chess", "pgp", "plot", "python", "ss",
+}
+
+// SizedBenchmarks is the paper's Table 3/4 row set: alphabetical, with
+// perl and ss contributing two input-set variants each.
+type SizedBenchmark struct {
+	Name  string
+	Input workload.InputSet
+	// Label is the row label (e.g. "perl_a").
+	Label string
+}
+
+// SizedBenchmarkRows returns the Table 3/4 rows.
+func SizedBenchmarkRows() []SizedBenchmark {
+	return []SizedBenchmark{
+		{"chess", workload.InputRef, "chess"},
+		{"compress", workload.InputRef, "compress"},
+		{"gcc", workload.InputRef, "gcc"},
+		{"gs", workload.InputRef, "gs"},
+		{"li", workload.InputRef, "li"},
+		{"m88ksim", workload.InputRef, "m88ksim"},
+		{"perl", workload.InputA, "perl_a"},
+		{"perl", workload.InputB, "perl_b"},
+		{"pgp", workload.InputRef, "pgp"},
+		{"plot", workload.InputRef, "plot"},
+		{"python", workload.InputRef, "python"},
+		{"ss", workload.InputA, "ss_a"},
+		{"ss", workload.InputB, "ss_b"},
+		{"tex", workload.InputRef, "tex"},
+	}
+}
+
+// FigureBenchmarks is the benchmark set of Figures 3 and 4.
+var FigureBenchmarks = []string{
+	"compress", "gcc", "ijpeg", "li", "m88ksim", "perl",
+	"chess", "gs", "pgp", "plot", "python", "ss", "tex",
+}

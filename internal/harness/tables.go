@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Table1Row reproduces one row of Table 1: benchmark, input set, total
+// dynamic branches, dynamic branches analyzed after frequency filtering,
+// and coverage.
+type Table1Row struct {
+	Benchmark       string
+	InputSet        string
+	TotalDynamic    uint64
+	AnalyzedDynamic uint64
+	Coverage        float64
+	StaticTotal     int
+	StaticAnalyzed  int
+}
+
+// Table1 runs every benchmark and reports the dynamic branch counts and
+// the frequency filter's coverage.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range workload.Names() {
+		a, err := s.Artifacts(name, workload.InputRef)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:       name,
+			InputSet:        a.Input.Name,
+			TotalDynamic:    a.Filter.DynamicTotal,
+			AnalyzedDynamic: a.Filter.DynamicKept,
+			Coverage:        a.Filter.Coverage(),
+			StaticTotal:     a.Filter.StaticTotal,
+			StaticAnalyzed:  a.Filter.StaticKept,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row reproduces one row of Table 2: working set count and average
+// static/dynamic sizes.
+type Table2Row struct {
+	Benchmark  string
+	NumSets    int
+	AvgStatic  float64
+	AvgDynamic float64
+	MaxSet     int
+	Truncated  bool
+}
+
+// Table2 runs working-set analysis on each Table 2 benchmark.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range Table2Benchmarks {
+		a, err := s.Artifacts(name, workload.InputRef)
+		if err != nil {
+			return nil, err
+		}
+		s.progressf("working sets %s", name)
+		res, err := core.Analyze(a.Profile, core.AnalysisConfig{
+			Threshold:    s.cfg.Threshold,
+			Definition:   core.MaximalCliques,
+			CliqueBudget: s.cfg.CliqueBudget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: analyzing %s: %w", name, err)
+		}
+		rows = append(rows, Table2Row{
+			Benchmark:  name,
+			NumSets:    res.NumSets(),
+			AvgStatic:  res.AvgStaticSize(),
+			AvgDynamic: res.AvgDynamicSize(),
+			MaxSet:     res.MaxSetSize(),
+			Truncated:  res.Truncated,
+		})
+	}
+	return rows, nil
+}
+
+// SizeRow reproduces one row of Table 3 or 4: the BHT size at which
+// branch allocation beats the conventional baseline.
+type SizeRow struct {
+	Label        string
+	RequiredSize int
+	AllocCost    uint64
+	BaselineCost uint64
+}
+
+// Table3 computes the required BHT sizes for plain branch allocation.
+func (s *Suite) Table3() ([]SizeRow, error) {
+	return s.sizeTable(false)
+}
+
+// Table4 computes the required BHT sizes for allocation with branch
+// classification.
+func (s *Suite) Table4() ([]SizeRow, error) {
+	return s.sizeTable(true)
+}
+
+func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
+	var rows []SizeRow
+	for _, sb := range SizedBenchmarkRows() {
+		a, err := s.Artifacts(sb.Name, sb.Input)
+		if err != nil {
+			return nil, err
+		}
+		s.progressf("required size %s (classification=%v)", sb.Label, classified)
+		res, err := core.RequiredBHTSize(a.Profile, s.cfg.BaselineBHT, core.AllocationConfig{
+			Threshold:         s.cfg.Threshold,
+			UseClassification: classified,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: sizing %s: %w", sb.Label, err)
+		}
+		rows = append(rows, SizeRow{
+			Label:        sb.Label,
+			RequiredSize: res.RequiredSize,
+			AllocCost:    res.AllocCost,
+			BaselineCost: res.BaselineCost,
+		})
+	}
+	return rows, nil
+}

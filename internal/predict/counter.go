@@ -1,0 +1,50 @@
+// Package predict implements the dynamic branch predictors the paper
+// evaluates: the PAg two-level scheme of Yeh & Patt with pluggable
+// first-level (BHT) index functions — conventional PC-modulo,
+// compiler-driven branch allocation, and interference-free per-branch —
+// plus classic baselines (bimodal, GAg, gshare, static) used by the
+// extended comparisons. It is the sim-bpred analogue of the study.
+package predict
+
+// Counter2 is a 2-bit saturating counter, the standard pattern-history
+// element. States 0..1 predict not-taken, 2..3 predict taken.
+type Counter2 uint8
+
+const (
+	// StrongNotTaken .. StrongTaken name the four counter states.
+	StrongNotTaken Counter2 = 0
+	WeakNotTaken   Counter2 = 1
+	WeakTaken      Counter2 = 2
+	StrongTaken    Counter2 = 3
+)
+
+// Taken returns the counter's current prediction.
+func (c Counter2) Taken() bool { return c >= WeakTaken }
+
+// Update returns the counter after observing outcome taken.
+func (c Counter2) Update(taken bool) Counter2 {
+	if taken {
+		if c < StrongTaken {
+			return c + 1
+		}
+		return c
+	}
+	if c > StrongNotTaken {
+		return c - 1
+	}
+	return c
+}
+
+func (c Counter2) String() string {
+	switch c {
+	case StrongNotTaken:
+		return "SN"
+	case WeakNotTaken:
+		return "WN"
+	case WeakTaken:
+		return "WT"
+	case StrongTaken:
+		return "ST"
+	}
+	return "??"
+}

@@ -1,0 +1,81 @@
+package predict
+
+import "repro/internal/core"
+
+// Indexer maps a branch PC to a first-level (BHT) table entry. The
+// paper's proposal is precisely a better Indexer: conventional hardware
+// hashes low-order PC bits; branch allocation substitutes a
+// compiler-computed assignment.
+type Indexer interface {
+	// Index returns the BHT entry for the branch at pc, in [0, Size()).
+	Index(pc uint64) int
+	// Size returns the number of BHT entries the indexer targets.
+	Size() int
+	// Name identifies the indexing scheme in reports.
+	Name() string
+}
+
+// PCModIndexer is the conventional scheme: word PC modulo table size.
+type PCModIndexer struct {
+	Entries int
+}
+
+// Index implements Indexer.
+func (ix PCModIndexer) Index(pc uint64) int { return core.ConventionalIndex(pc, ix.Entries) }
+
+// Size implements Indexer.
+func (ix PCModIndexer) Size() int { return ix.Entries }
+
+// Name implements Indexer.
+func (ix PCModIndexer) Name() string { return "pc-mod" }
+
+// AllocIndexer indexes through a branch AllocationMap; unallocated
+// branches fall back to PC-modulo inside the map.
+type AllocIndexer struct {
+	Map *core.AllocationMap
+}
+
+// Index implements Indexer.
+func (ix AllocIndexer) Index(pc uint64) int { return ix.Map.EntryFor(pc) }
+
+// Size implements Indexer.
+func (ix AllocIndexer) Size() int { return ix.Map.TableSize }
+
+// Name implements Indexer.
+func (ix AllocIndexer) Name() string {
+	if ix.Map.ReservedTaken >= 0 {
+		return "allocated+class"
+	}
+	return "allocated"
+}
+
+// IdealIndexer gives every static branch a private entry — the
+// interference-free reference the paper approximates with a
+// 2-million-entry BHT. Entries are assigned on first use and the table
+// grows as needed.
+type IdealIndexer struct {
+	entries map[uint64]int
+}
+
+// NewIdealIndexer returns an empty interference-free indexer.
+func NewIdealIndexer() *IdealIndexer {
+	return &IdealIndexer{entries: make(map[uint64]int)}
+}
+
+// Index implements Indexer.
+func (ix *IdealIndexer) Index(pc uint64) int {
+	if e, ok := ix.entries[pc]; ok {
+		return e
+	}
+	e := len(ix.entries)
+	ix.entries[pc] = e
+	return e
+}
+
+// Size implements Indexer. It reports the entries assigned so far plus
+// one so callers sizing tables lazily stay in range; PAg grows its BHT
+// dynamically under this indexer.
+func (ix *IdealIndexer) Size() int { return len(ix.entries) + 1 }
+
+// Name implements Indexer.
+func (ix *IdealIndexer) Name() string { return "interference-free" }

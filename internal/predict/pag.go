@@ -1,0 +1,80 @@
+package predict
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PAg is the local-history two-level adaptive predictor of Yeh & Patt:
+// a per-address Branch History Table (BHT) of shift registers as the
+// first level and a single global Pattern History Table (PHT) of 2-bit
+// counters as the second. The paper's baseline is PAg with a 1024-entry
+// BHT and 4096-entry PHT (12 bits of local history); branch allocation
+// changes only how the BHT is indexed.
+type PAg struct {
+	indexer  Indexer
+	histBits uint
+	histMask uint32
+	bht      []uint32
+	pht      []Counter2
+}
+
+// NewPAg builds a PAg predictor. phtEntries must be a power of two; the
+// local history length is log2(phtEntries). The BHT size comes from the
+// indexer.
+func NewPAg(indexer Indexer, phtEntries int) (*PAg, error) {
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	histBits := uint(bits.TrailingZeros(uint(phtEntries)))
+	p := &PAg{
+		indexer:  indexer,
+		histBits: histBits,
+		histMask: uint32(phtEntries - 1),
+		bht:      make([]uint32, indexer.Size()),
+		pht:      make([]Counter2, phtEntries),
+	}
+	for i := range p.pht {
+		p.pht[i] = WeakTaken
+	}
+	return p, nil
+}
+
+// Name implements Predictor.
+func (p *PAg) Name() string {
+	return fmt.Sprintf("PAg(bht=%s/%d,pht=%d)", p.indexer.Name(), p.indexer.Size(), len(p.pht))
+}
+
+func (p *PAg) historyAt(pc uint64) (int, uint32) {
+	idx := p.indexer.Index(pc)
+	if idx >= len(p.bht) {
+		// IdealIndexer grows; extend the BHT to match.
+		grown := make([]uint32, idx+1)
+		copy(grown, p.bht)
+		p.bht = grown
+	}
+	return idx, p.bht[idx] & p.histMask
+}
+
+// Predict implements Predictor.
+func (p *PAg) Predict(pc uint64) bool {
+	_, h := p.historyAt(pc)
+	return p.pht[h].Taken()
+}
+
+// Update implements Predictor.
+func (p *PAg) Update(pc uint64, taken bool) {
+	idx, h := p.historyAt(pc)
+	p.pht[h] = p.pht[h].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	p.bht[idx] = ((p.bht[idx] << 1) | bit) & p.histMask
+}
+
+// HistoryBits returns the local history length.
+func (p *PAg) HistoryBits() uint { return p.histBits }
+
+// BHTSize returns the current first-level table size.
+func (p *PAg) BHTSize() int { return len(p.bht) }

@@ -1,0 +1,70 @@
+package predict
+
+import "fmt"
+
+// Sim drives a Predictor from a branch event stream and accumulates
+// accuracy statistics. It implements the vm.BranchSink shape, so it can
+// run online during program execution or over a recorded trace; several
+// Sims can share one run through vm.MultiSink, which is how the figure
+// experiments compare schemes on identical streams.
+type Sim struct {
+	p           Predictor
+	branches    uint64
+	mispredicts uint64
+}
+
+// NewSim wraps p for measurement.
+func NewSim(p Predictor) *Sim { return &Sim{p: p} }
+
+// Branch consumes one event: predict, score, train.
+func (s *Sim) Branch(pc uint64, taken bool, _ uint64) {
+	if s.p.Predict(pc) != taken {
+		s.mispredicts++
+	}
+	s.branches++
+	s.p.Update(pc, taken)
+}
+
+// Predictor returns the wrapped predictor.
+func (s *Sim) Predictor() Predictor { return s.p }
+
+// Branches returns the number of conditional branches simulated.
+func (s *Sim) Branches() uint64 { return s.branches }
+
+// Mispredicts returns the misprediction count.
+func (s *Sim) Mispredicts() uint64 { return s.mispredicts }
+
+// MispredictRate returns mispredictions per branch, the figures' metric.
+func (s *Sim) MispredictRate() float64 {
+	if s.branches == 0 {
+		return 0
+	}
+	return float64(s.mispredicts) / float64(s.branches)
+}
+
+// Accuracy returns 1 - MispredictRate.
+func (s *Sim) Accuracy() float64 { return 1 - s.MispredictRate() }
+
+// Result snapshots a finished simulation.
+type Result struct {
+	Name        string
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// Rate returns the misprediction rate.
+func (r Result) Rate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.4f mispredict rate (%d/%d)", r.Name, r.Rate(), r.Mispredicts, r.Branches)
+}
+
+// Result snapshots the Sim's current statistics.
+func (s *Sim) Result() Result {
+	return Result{Name: s.p.Name(), Branches: s.branches, Mispredicts: s.mispredicts}
+}

@@ -1,0 +1,210 @@
+package predict
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Predictor is a dynamic branch direction predictor driven
+// predict-then-update, one call pair per retired conditional branch.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+	// Name identifies the configuration in reports.
+	Name() string
+}
+
+// Bimodal is Smith's per-address 2-bit counter predictor; the simplest
+// dynamic baseline.
+type Bimodal struct {
+	table []Counter2
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with entries counters (power of
+// two).
+func NewBimodal(entries int) (*Bimodal, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("predict: bimodal entries must be a power of two, got %d", entries)
+	}
+	t := make([]Counter2, entries)
+	for i := range t {
+		t[i] = WeakTaken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}, nil
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal(%d)", len(b.table)) }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[(pc/4)&b.mask].Taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc / 4) & b.mask
+	b.table[i] = b.table[i].Update(taken)
+}
+
+// GAg is the global-history two-level predictor: one global shift
+// register indexes a PHT of 2-bit counters.
+type GAg struct {
+	hist uint32
+	mask uint32
+	pht  []Counter2
+}
+
+// NewGAg builds a GAg with phtEntries counters (power of two).
+func NewGAg(phtEntries int) (*GAg, error) {
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: GAg PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	g := &GAg{mask: uint32(phtEntries - 1), pht: make([]Counter2, phtEntries)}
+	for i := range g.pht {
+		g.pht[i] = WeakTaken
+	}
+	return g, nil
+}
+
+// Name implements Predictor.
+func (g *GAg) Name() string { return fmt.Sprintf("GAg(%d)", len(g.pht)) }
+
+// Predict implements Predictor.
+func (g *GAg) Predict(pc uint64) bool { return g.pht[g.hist&g.mask].Taken() }
+
+// Update implements Predictor.
+func (g *GAg) Update(pc uint64, taken bool) {
+	i := g.hist & g.mask
+	g.pht[i] = g.pht[i].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	g.hist = ((g.hist << 1) | bit) & g.mask
+}
+
+// Gshare is McFarling's variant: global history XORed with the PC
+// indexes the PHT, spreading branches across patterns.
+type Gshare struct {
+	hist uint32
+	mask uint32
+	pht  []Counter2
+}
+
+// NewGshare builds a gshare with phtEntries counters (power of two).
+func NewGshare(phtEntries int) (*Gshare, error) {
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: gshare PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	g := &Gshare{mask: uint32(phtEntries - 1), pht: make([]Counter2, phtEntries)}
+	for i := range g.pht {
+		g.pht[i] = WeakTaken
+	}
+	return g, nil
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return fmt.Sprintf("gshare(%d)", len(g.pht)) }
+
+func (g *Gshare) index(pc uint64) uint32 { return (g.hist ^ uint32(pc/4)) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.pht[g.index(pc)].Taken() }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.pht[i] = g.pht[i].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	g.hist = ((g.hist << 1) | bit) & g.mask
+}
+
+// AlwaysTaken is the trivial static baseline.
+type AlwaysTaken struct{}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool) {}
+
+// ProfileStatic predicts each branch's profile-time majority direction —
+// the classic profile-guided static predictor (Ball & Larus style, by
+// measurement rather than heuristics). Branches unseen at profile time
+// default to taken.
+type ProfileStatic struct {
+	dir map[uint64]bool
+}
+
+// NewProfileStatic builds the predictor from per-branch majority
+// directions.
+func NewProfileStatic(majorityTaken map[uint64]bool) *ProfileStatic {
+	return &ProfileStatic{dir: majorityTaken}
+}
+
+// Name implements Predictor.
+func (p *ProfileStatic) Name() string { return "profile-static" }
+
+// Predict implements Predictor.
+func (p *ProfileStatic) Predict(pc uint64) bool {
+	if d, ok := p.dir[pc]; ok {
+		return d
+	}
+	return true
+}
+
+// Update implements Predictor.
+func (p *ProfileStatic) Update(uint64, bool) {}
+
+// HybridBiasedStatic statically predicts highly biased branches (the
+// Section 5.2 option "if a target ISA allows, these highly biased
+// conditional branches can be statically predicted") and defers all
+// other branches to an underlying dynamic predictor, which then never
+// sees the biased branches.
+type HybridBiasedStatic struct {
+	staticDir map[uint64]bool // biased branches and their directions
+	dynamic   Predictor
+}
+
+// NewHybridBiasedStatic wraps dynamic with static predictions for the
+// given biased branches.
+func NewHybridBiasedStatic(biased map[uint64]bool, dynamic Predictor) *HybridBiasedStatic {
+	return &HybridBiasedStatic{staticDir: biased, dynamic: dynamic}
+}
+
+// Name implements Predictor.
+func (h *HybridBiasedStatic) Name() string {
+	return fmt.Sprintf("biased-static+%s", h.dynamic.Name())
+}
+
+// Predict implements Predictor.
+func (h *HybridBiasedStatic) Predict(pc uint64) bool {
+	if d, ok := h.staticDir[pc]; ok {
+		return d
+	}
+	return h.dynamic.Predict(pc)
+}
+
+// Update implements Predictor.
+func (h *HybridBiasedStatic) Update(pc uint64, taken bool) {
+	if _, ok := h.staticDir[pc]; ok {
+		return
+	}
+	h.dynamic.Update(pc, taken)
+}
+
+// pow2Ceil returns the smallest power of two >= n (n >= 1).
+func pow2Ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n - 1)))
+}

@@ -1,0 +1,329 @@
+package predict
+
+import "fmt"
+
+// This file generalizes the two-level adaptive scheme to the rest of the
+// Yeh & Patt taxonomy referenced by the paper: the first level keeps
+// branch history globally (G) or per-address (P); the second level keeps
+// pattern counters globally (g), per-set (s), or per-address (p). PAg is
+// implemented separately in pag.go as the paper's baseline; the variants
+// here support the extended comparisons.
+
+// GAs is a global-history two-level predictor whose second level is
+// divided into per-set pattern tables selected by PC bits, reducing PHT
+// interference relative to GAg at equal total capacity.
+type GAs struct {
+	hist     uint32
+	histMask uint32
+	sets     []([]Counter2)
+	setMask  uint64
+}
+
+// NewGAs builds a GAs with sets per-set pattern tables of phtEntries
+// counters each (both powers of two).
+func NewGAs(sets, phtEntries int) (*GAs, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("predict: GAs sets must be a power of two, got %d", sets)
+	}
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: GAs PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	g := &GAs{
+		histMask: uint32(phtEntries - 1),
+		sets:     make([][]Counter2, sets),
+		setMask:  uint64(sets - 1),
+	}
+	for i := range g.sets {
+		t := make([]Counter2, phtEntries)
+		for j := range t {
+			t[j] = WeakTaken
+		}
+		g.sets[i] = t
+	}
+	return g, nil
+}
+
+// Name implements Predictor.
+func (g *GAs) Name() string {
+	return fmt.Sprintf("GAs(%dx%d)", len(g.sets), len(g.sets[0]))
+}
+
+func (g *GAs) table(pc uint64) []Counter2 { return g.sets[(pc/4)&g.setMask] }
+
+// Predict implements Predictor.
+func (g *GAs) Predict(pc uint64) bool {
+	return g.table(pc)[g.hist&g.histMask].Taken()
+}
+
+// Update implements Predictor.
+func (g *GAs) Update(pc uint64, taken bool) {
+	t := g.table(pc)
+	i := g.hist & g.histMask
+	t[i] = t[i].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	g.hist = ((g.hist << 1) | bit) & g.histMask
+}
+
+// PAs is a per-address-history two-level predictor with per-set pattern
+// tables: local history like PAg, but the second level is also
+// partitioned by PC bits.
+type PAs struct {
+	indexer  Indexer
+	histMask uint32
+	bht      []uint32
+	sets     [][]Counter2
+	setMask  uint64
+}
+
+// NewPAs builds a PAs: first-level histories via indexer, sets per-set
+// pattern tables of phtEntries counters each.
+func NewPAs(indexer Indexer, sets, phtEntries int) (*PAs, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("predict: PAs sets must be a power of two, got %d", sets)
+	}
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: PAs PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	p := &PAs{
+		indexer:  indexer,
+		histMask: uint32(phtEntries - 1),
+		bht:      make([]uint32, indexer.Size()),
+		sets:     make([][]Counter2, sets),
+		setMask:  uint64(sets - 1),
+	}
+	for i := range p.sets {
+		t := make([]Counter2, phtEntries)
+		for j := range t {
+			t[j] = WeakTaken
+		}
+		p.sets[i] = t
+	}
+	return p, nil
+}
+
+// Name implements Predictor.
+func (p *PAs) Name() string {
+	return fmt.Sprintf("PAs(bht=%s/%d,%dx%d)", p.indexer.Name(), p.indexer.Size(), len(p.sets), len(p.sets[0]))
+}
+
+func (p *PAs) slot(pc uint64) (int, uint32, []Counter2) {
+	idx := p.indexer.Index(pc)
+	if idx >= len(p.bht) {
+		grown := make([]uint32, idx+1)
+		copy(grown, p.bht)
+		p.bht = grown
+	}
+	return idx, p.bht[idx] & p.histMask, p.sets[(pc/4)&p.setMask]
+}
+
+// Predict implements Predictor.
+func (p *PAs) Predict(pc uint64) bool {
+	_, h, t := p.slot(pc)
+	return t[h].Taken()
+}
+
+// Update implements Predictor.
+func (p *PAs) Update(pc uint64, taken bool) {
+	idx, h, t := p.slot(pc)
+	t[h] = t[h].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	p.bht[idx] = ((p.bht[idx] << 1) | bit) & p.histMask
+}
+
+// PAp keeps both levels per static branch: private history and a
+// private pattern table. It is the interference-free upper bound of the
+// per-address family (unbounded hardware, like IdealIndexer).
+type PAp struct {
+	histBits uint
+	histMask uint32
+	branches map[uint64]*papEntry
+}
+
+type papEntry struct {
+	hist uint32
+	pht  []Counter2
+}
+
+// NewPAp builds a PAp with histBits of local history per branch.
+func NewPAp(histBits uint) (*PAp, error) {
+	if histBits < 1 || histBits > 20 {
+		return nil, fmt.Errorf("predict: PAp history bits %d outside [1,20]", histBits)
+	}
+	return &PAp{
+		histBits: histBits,
+		histMask: uint32(1<<histBits - 1),
+		branches: make(map[uint64]*papEntry),
+	}, nil
+}
+
+// Name implements Predictor.
+func (p *PAp) Name() string { return fmt.Sprintf("PAp(h=%d)", p.histBits) }
+
+func (p *PAp) entry(pc uint64) *papEntry {
+	e := p.branches[pc]
+	if e == nil {
+		e = &papEntry{pht: make([]Counter2, 1<<p.histBits)}
+		for i := range e.pht {
+			e.pht[i] = WeakTaken
+		}
+		p.branches[pc] = e
+	}
+	return e
+}
+
+// Predict implements Predictor.
+func (p *PAp) Predict(pc uint64) bool {
+	e := p.entry(pc)
+	return e.pht[e.hist&p.histMask].Taken()
+}
+
+// Update implements Predictor.
+func (p *PAp) Update(pc uint64, taken bool) {
+	e := p.entry(pc)
+	i := e.hist & p.histMask
+	e.pht[i] = e.pht[i].Update(taken)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	e.hist = ((e.hist << 1) | bit) & p.histMask
+}
+
+// Agree implements the agree predictor of Sprangle et al. (ISCA 1997),
+// one of the hardware anti-interference schemes the paper positions
+// branch allocation against: each branch carries a biasing bit (set to
+// its first observed outcome), and the shared PHT counters learn
+// whether the branch *agrees* with its bias. Two branches aliasing the
+// same counter interfere constructively as long as both mostly agree
+// with their own biases, turning negative interference positive.
+type Agree struct {
+	hist     uint32
+	mask     uint32
+	pht      []Counter2
+	biasSet  []bool
+	bias     []bool
+	biasMask uint64
+}
+
+// NewAgree builds an agree predictor with phtEntries counters and
+// biasEntries biasing bits (both powers of two).
+func NewAgree(phtEntries, biasEntries int) (*Agree, error) {
+	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: agree PHT entries must be a power of two > 1, got %d", phtEntries)
+	}
+	if biasEntries <= 0 || biasEntries&(biasEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: agree bias entries must be a power of two, got %d", biasEntries)
+	}
+	a := &Agree{
+		mask:     uint32(phtEntries - 1),
+		pht:      make([]Counter2, phtEntries),
+		biasSet:  make([]bool, biasEntries),
+		bias:     make([]bool, biasEntries),
+		biasMask: uint64(biasEntries - 1),
+	}
+	for i := range a.pht {
+		a.pht[i] = WeakTaken // weakly "agree"
+	}
+	return a, nil
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string {
+	return fmt.Sprintf("agree(%d,bias=%d)", len(a.pht), len(a.biasSet))
+}
+
+func (a *Agree) index(pc uint64) uint32 { return (a.hist ^ uint32(pc/4)) & a.mask }
+
+func (a *Agree) biasOf(pc uint64) (bool, bool) {
+	i := (pc / 4) & a.biasMask
+	return a.bias[i], a.biasSet[i]
+}
+
+// Predict implements Predictor.
+func (a *Agree) Predict(pc uint64) bool {
+	bias, ok := a.biasOf(pc)
+	if !ok {
+		return true // no bias yet: static taken
+	}
+	agree := a.pht[a.index(pc)].Taken()
+	return bias == agree
+}
+
+// Update implements Predictor.
+func (a *Agree) Update(pc uint64, taken bool) {
+	bi := (pc / 4) & a.biasMask
+	if !a.biasSet[bi] {
+		// First encounter sets the biasing bit, as in the paper's
+		// "bias bit set on first execution" scheme.
+		a.biasSet[bi] = true
+		a.bias[bi] = taken
+	}
+	i := a.index(pc)
+	agrees := taken == a.bias[bi]
+	a.pht[i] = a.pht[i].Update(agrees)
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	a.hist = ((a.hist << 1) | bit) & a.mask
+}
+
+// Combining is McFarling's tournament predictor: two component
+// predictors and a per-address selector table of 2-bit counters that
+// learns which component to trust for each branch.
+type Combining struct {
+	a, b     Predictor
+	selector []Counter2 // taken-side = use component a
+	mask     uint64
+}
+
+// NewCombining builds a tournament over components a and b with
+// selectorEntries selector counters (a power of two).
+func NewCombining(a, b Predictor, selectorEntries int) (*Combining, error) {
+	if selectorEntries <= 0 || selectorEntries&(selectorEntries-1) != 0 {
+		return nil, fmt.Errorf("predict: selector entries must be a power of two, got %d", selectorEntries)
+	}
+	c := &Combining{
+		a:        a,
+		b:        b,
+		selector: make([]Counter2, selectorEntries),
+		mask:     uint64(selectorEntries - 1),
+	}
+	for i := range c.selector {
+		c.selector[i] = WeakTaken
+	}
+	return c, nil
+}
+
+// Name implements Predictor.
+func (c *Combining) Name() string {
+	return fmt.Sprintf("combining(%s,%s,sel=%d)", c.a.Name(), c.b.Name(), len(c.selector))
+}
+
+func (c *Combining) sel(pc uint64) uint64 { return (pc / 4) & c.mask }
+
+// Predict implements Predictor.
+func (c *Combining) Predict(pc uint64) bool {
+	if c.selector[c.sel(pc)].Taken() {
+		return c.a.Predict(pc)
+	}
+	return c.b.Predict(pc)
+}
+
+// Update implements Predictor.
+func (c *Combining) Update(pc uint64, taken bool) {
+	pa := c.a.Predict(pc)
+	pb := c.b.Predict(pc)
+	if pa != pb {
+		i := c.sel(pc)
+		c.selector[i] = c.selector[i].Update(pa == taken)
+	}
+	c.a.Update(pc, taken)
+	c.b.Update(pc, taken)
+}

@@ -1,0 +1,158 @@
+package profile
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// PairCounts is an open-addressed hash table from packed id pairs
+// (PairKey) to interleave counts. Profiling performs billions of
+// increments on paper-scale traces; a specialized table is severalfold
+// faster and far smaller than a Go map and keeps full-suite table
+// generation in minutes.
+//
+// Key 0 marks an empty slot. PairKey never produces 0: it packs the
+// smaller id into the high word and ids in a pair are distinct, so the
+// low word (the larger id) is nonzero.
+//
+// Each table hashes with a per-instance seed. This is not paranoia:
+// Range yields keys in slot order — i.e. sorted by hash — and feeding
+// one table's Range into another table's Add (as Merge does) would,
+// under a shared hash function, insert keys in exactly ascending hash
+// order. Linear probing degrades to a single ever-growing run under
+// that order and the copy turns quadratic; distinct seeds decorrelate
+// the orders and keep inserts O(1).
+type PairCounts struct {
+	keys []uint64
+	vals []uint64
+	n    int
+	seed uint64
+}
+
+const (
+	pairMinCap   = 1 << 10
+	pairMaxLoadN = 3 // grow when n*4 > len*3 (load factor 0.75)
+	pairMaxLoadD = 4
+)
+
+// pairSeedCounter distinguishes instances; the derived seeds are
+// deterministic for a deterministic allocation order, and no observable
+// result depends on table layout.
+var pairSeedCounter atomic.Uint64
+
+func newPairSeed() uint64 {
+	x := pairSeedCounter.Add(1) * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewPairCounts returns a table pre-sized for roughly capacityHint
+// entries (0 picks a small default).
+func NewPairCounts(capacityHint int) *PairCounts {
+	size := pairMinCap
+	for size*pairMaxLoadN < capacityHint*pairMaxLoadD {
+		size *= 2
+	}
+	return &PairCounts{
+		keys: make([]uint64, size),
+		vals: make([]uint64, size),
+		seed: newPairSeed(),
+	}
+}
+
+// Len returns the number of distinct pairs stored.
+func (t *PairCounts) Len() int { return t.n }
+
+// slot hashes the key into the table: seeded xor, Fibonacci multiply,
+// top bits.
+func (t *PairCounts) slot(key uint64) uint64 {
+	h := (key ^ t.seed) * 0x9e3779b97f4a7c15
+	return h >> (64 - uint(bits.TrailingZeros(uint(len(t.keys)))))
+}
+
+// Add increments the pair key's count by delta.
+func (t *PairCounts) Add(key uint64, delta uint64) {
+	if key == 0 {
+		panic("profile: PairCounts key 0 is reserved")
+	}
+	if (t.n+1)*pairMaxLoadD > len(t.keys)*pairMaxLoadN {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.slot(key)
+	for {
+		k := t.keys[i]
+		if k == key {
+			t.vals[i] += delta
+			return
+		}
+		if k == 0 {
+			t.keys[i] = key
+			t.vals[i] = delta
+			t.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns the count for key (0 if absent).
+func (t *PairCounts) Get(key uint64) uint64 {
+	mask := uint64(len(t.keys) - 1)
+	i := t.slot(key)
+	for {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i]
+		}
+		if k == 0 {
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Range calls f for every stored pair until f returns false. Iteration
+// order is unspecified (it depends on the instance seed); callers
+// needing determinism must sort, as SortedPairs does.
+func (t *PairCounts) Range(f func(key uint64, count uint64) bool) {
+	for i, k := range t.keys {
+		if k != 0 {
+			if !f(k, t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy (sharing the seed; layouts stay identical).
+func (t *PairCounts) Clone() *PairCounts {
+	return &PairCounts{
+		keys: append([]uint64(nil), t.keys...),
+		vals: append([]uint64(nil), t.vals...),
+		n:    t.n,
+		seed: t.seed,
+	}
+}
+
+// grow doubles the table. Rehashing iterates the old slots in hash
+// order of the *same* seed, so reinserted keys land in nondecreasing
+// slots of the doubled table — a linear, clustering-free pass.
+func (t *PairCounts) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.vals = make([]uint64, len(oldVals)*2)
+	mask := uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := t.slot(k)
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.vals[i] = oldVals[j]
+	}
+}

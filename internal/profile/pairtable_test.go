@@ -1,0 +1,153 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPairCountsBasic(t *testing.T) {
+	pc := NewPairCounts(0)
+	if pc.Len() != 0 {
+		t.Fatal("new table not empty")
+	}
+	pc.Add(1, 1)
+	pc.Add(2, 5)
+	pc.Add(1, 2)
+	if pc.Len() != 2 {
+		t.Fatalf("len = %d", pc.Len())
+	}
+	if pc.Get(1) != 3 || pc.Get(2) != 5 || pc.Get(3) != 0 {
+		t.Fatalf("values wrong: %d %d %d", pc.Get(1), pc.Get(2), pc.Get(3))
+	}
+}
+
+func TestPairCountsZeroKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(0) did not panic")
+		}
+	}()
+	NewPairCounts(0).Add(0, 1)
+}
+
+func TestPairCountsGrowth(t *testing.T) {
+	pc := NewPairCounts(0)
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		pc.Add(i, i)
+	}
+	if pc.Len() != n {
+		t.Fatalf("len = %d, want %d", pc.Len(), n)
+	}
+	for i := uint64(1); i <= n; i += 997 {
+		if pc.Get(i) != i {
+			t.Fatalf("Get(%d) = %d", i, pc.Get(i))
+		}
+	}
+}
+
+func TestPairCountsMatchesMap(t *testing.T) {
+	r := rng.New(17)
+	pc := NewPairCounts(0)
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 200000; i++ {
+		key := uint64(r.Intn(5000) + 1)
+		delta := uint64(r.Intn(10) + 1)
+		pc.Add(key, delta)
+		ref[key] += delta
+	}
+	if pc.Len() != len(ref) {
+		t.Fatalf("len %d != map %d", pc.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if pc.Get(k) != v {
+			t.Fatalf("key %d: %d != %d", k, pc.Get(k), v)
+		}
+	}
+	seen := 0
+	pc.Range(func(k, v uint64) bool {
+		if ref[k] != v {
+			t.Fatalf("range key %d: %d != %d", k, v, ref[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("range visited %d of %d", seen, len(ref))
+	}
+}
+
+func TestPairCountsRangeEarlyStop(t *testing.T) {
+	pc := NewPairCounts(0)
+	for i := uint64(1); i <= 10; i++ {
+		pc.Add(i, 1)
+	}
+	visited := 0
+	pc.Range(func(_, _ uint64) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("early stop visited %d", visited)
+	}
+}
+
+func TestPairCountsClone(t *testing.T) {
+	pc := NewPairCounts(0)
+	pc.Add(7, 3)
+	cl := pc.Clone()
+	cl.Add(7, 1)
+	cl.Add(9, 1)
+	if pc.Get(7) != 3 || pc.Get(9) != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+	if cl.Get(7) != 4 || cl.Get(9) != 1 {
+		t.Fatal("clone values wrong")
+	}
+}
+
+func TestPairCountsCapacityHint(t *testing.T) {
+	pc := NewPairCounts(1 << 16)
+	for i := uint64(1); i <= 1<<16; i++ {
+		pc.Add(i, 1)
+	}
+	if pc.Len() != 1<<16 {
+		t.Fatalf("len = %d", pc.Len())
+	}
+}
+
+func TestPairCountsProperty(t *testing.T) {
+	f := func(keys []uint32) bool {
+		pc := NewPairCounts(0)
+		ref := make(map[uint64]uint64)
+		for _, k := range keys {
+			key := uint64(k) + 1
+			pc.Add(key, 1)
+			ref[key]++
+		}
+		for k, v := range ref {
+			if pc.Get(k) != v {
+				return false
+			}
+		}
+		return pc.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPairCountsAdd(b *testing.B) {
+	pc := NewPairCounts(1 << 20)
+	r := rng.New(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = uint64(r.Uint32()) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Add(keys[i&(1<<16-1)], 1)
+	}
+}

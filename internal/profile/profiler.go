@@ -1,0 +1,307 @@
+package profile
+
+// Profiler consumes a branch event stream online and accumulates a
+// Profile. It implements the vm.BranchSink shape, so it can be attached
+// directly to an executing Machine or fed from a recorded trace.
+//
+// Algorithm: a move-to-front (recency) list of static branches. When
+// branch A executes, the branches ahead of A in the list are exactly
+// those whose last time stamp exceeds A's previous time stamp — the
+// paper's interleave set — so each such pair's counter is incremented
+// and A moves to the front. Cost per dynamic branch is A's reuse
+// distance, which Table 2 shows is bounded by the (small) working set
+// size in practice.
+type Profiler struct {
+	benchmark string
+	inputSet  string
+	window    int
+
+	ids map[uint64]int32 // pc -> dense id
+
+	pcs   []uint64
+	exec  []uint64
+	taken []uint64
+
+	// Move-to-front list over ids; -1 terminates.
+	head int32
+	next []int32
+	prev []int32
+	in   []bool
+
+	// Per-branch neighbor counters: nbrs[id] counts interleavings of id
+	// with each partner observed while id executes. One unordered pair
+	// (a,b) accumulates partly in a's counter and partly in b's; the
+	// halves are summed at extraction. Keeping the counter per branch
+	// makes the hot loop's working set the size of one branch's
+	// neighborhood (a few KB, cache-resident) instead of the global
+	// pair population.
+	nbrs []nbrCounter
+
+	branches     uint64
+	instructions uint64
+}
+
+// nbrCounter is a small open-addressed int32->uint32 counter. Key -1
+// marks an empty slot (ids are non-negative).
+type nbrCounter struct {
+	keys []int32
+	vals []uint32
+	n    int
+}
+
+func (c *nbrCounter) add(key int32) {
+	if c.keys == nil {
+		c.keys = make([]int32, 8)
+		c.vals = make([]uint32, 8)
+		for i := range c.keys {
+			c.keys[i] = -1
+		}
+	} else if (c.n+1)*4 > len(c.keys)*3 {
+		c.grow()
+	}
+	mask := uint32(len(c.keys) - 1)
+	i := (uint32(key) * 0x9e3779b9) & mask
+	for {
+		k := c.keys[i]
+		if k == key {
+			c.vals[i]++
+			return
+		}
+		if k == -1 {
+			c.keys[i] = key
+			c.vals[i] = 1
+			c.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (c *nbrCounter) grow() {
+	oldKeys, oldVals := c.keys, c.vals
+	c.keys = make([]int32, len(oldKeys)*2)
+	c.vals = make([]uint32, len(oldVals)*2)
+	for i := range c.keys {
+		c.keys[i] = -1
+	}
+	mask := uint32(len(c.keys) - 1)
+	for j, k := range oldKeys {
+		if k == -1 {
+			continue
+		}
+		i := (uint32(k) * 0x9e3779b9) & mask
+		for c.keys[i] != -1 {
+			i = (i + 1) & mask
+		}
+		c.keys[i] = k
+		c.vals[i] = oldVals[j]
+	}
+}
+
+// each calls f for every (key, count) stored.
+func (c *nbrCounter) each(f func(key int32, count uint32)) {
+	for i, k := range c.keys {
+		if k != -1 {
+			f(k, c.vals[i])
+		}
+	}
+}
+
+// Option configures a Profiler.
+type Option func(*Profiler)
+
+// WithWindow bounds the interleave scan depth: pairs beyond the window
+// of most recently executed distinct branches are not counted. 0 (the
+// default) is unbounded, matching the paper. A window is an explicit,
+// reported approximation for pathological traces, never a silent one —
+// callers that set it should say so in their output.
+func WithWindow(depth int) Option {
+	return func(p *Profiler) { p.window = depth }
+}
+
+// NewProfiler returns an empty Profiler for the named benchmark run.
+func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
+	p := &Profiler{
+		benchmark: benchmark,
+		inputSet:  inputSet,
+		ids:       make(map[uint64]int32),
+		head:      -1,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Window returns the configured scan window (0 = unbounded).
+func (p *Profiler) Window() int { return p.window }
+
+// Branch consumes one dynamic branch event.
+func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
+	id, ok := p.ids[pc]
+	if !ok {
+		id = int32(len(p.pcs))
+		p.ids[pc] = id
+		p.pcs = append(p.pcs, pc)
+		p.exec = append(p.exec, 0)
+		p.taken = append(p.taken, 0)
+		p.next = append(p.next, -1)
+		p.prev = append(p.prev, -1)
+		p.in = append(p.in, false)
+		p.nbrs = append(p.nbrs, nbrCounter{})
+	}
+	p.exec[id]++
+	if taken {
+		p.taken[id]++
+	}
+	p.branches++
+	if icount >= p.instructions {
+		p.instructions = icount + 1
+	}
+
+	if p.in[id] {
+		// Count interleavings: every branch ahead of id in the recency
+		// list ran since id's previous execution.
+		depth := 0
+		nbr := &p.nbrs[id]
+		for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
+			if p.window > 0 && depth >= p.window {
+				break
+			}
+			nbr.add(cur)
+			depth++
+		}
+		// Unlink id (O(1) via prev/next).
+		if p.prev[id] != -1 {
+			p.next[p.prev[id]] = p.next[id]
+		} else {
+			p.head = p.next[id]
+		}
+		if p.next[id] != -1 {
+			p.prev[p.next[id]] = p.prev[id]
+		}
+	}
+
+	// Push id to the front.
+	p.prev[id] = -1
+	p.next[id] = p.head
+	if p.head != -1 {
+		p.prev[p.head] = id
+	}
+	p.head = id
+	p.in[id] = true
+}
+
+// Branches returns the number of dynamic branches consumed so far.
+func (p *Profiler) Branches() uint64 { return p.branches }
+
+// SetInstructions records the run's total instruction count (otherwise
+// estimated from the last branch time stamp).
+func (p *Profiler) SetInstructions(n uint64) { p.instructions = n }
+
+// Profile extracts the accumulated profile. The Profiler remains usable;
+// further events continue accumulating on top.
+func (p *Profiler) Profile() *Profile {
+	distinct := 0
+	for i := range p.nbrs {
+		distinct += p.nbrs[i].n
+	}
+	pairs := NewPairCounts(distinct) // upper bound; halves merge below
+	for id := range p.nbrs {
+		a := int32(id)
+		p.nbrs[id].each(func(b int32, count uint32) {
+			pairs.Add(PairKey(a, b), uint64(count))
+		})
+	}
+	out := &Profile{
+		Benchmark:    p.benchmark,
+		InputSets:    []string{p.inputSet},
+		Instructions: p.instructions,
+		PCs:          append([]uint64(nil), p.pcs...),
+		Exec:         append([]uint64(nil), p.exec...),
+		Taken:        append([]uint64(nil), p.taken...),
+		Pairs:        pairs,
+	}
+	return out
+}
+
+// NaiveProfiler is the literal time-stamp formulation from the paper's
+// Figure 1: every branch keeps its last time stamp; on each dynamic
+// instance of branch A, every branch whose stamp exceeds A's previous
+// stamp is an interleaving partner. It is O(static branches) per event
+// and exists to cross-validate Profiler in tests.
+type NaiveProfiler struct {
+	benchmark string
+	inputSet  string
+
+	ids   map[uint64]int32
+	pcs   []uint64
+	exec  []uint64
+	taken []uint64
+
+	stamp []uint64 // last time stamp per id
+	seen  []bool   // id has executed at least once
+
+	pairs        *PairCounts
+	instructions uint64
+}
+
+// NewNaiveProfiler returns the reference profiler.
+func NewNaiveProfiler(benchmark, inputSet string) *NaiveProfiler {
+	return &NaiveProfiler{
+		benchmark: benchmark,
+		inputSet:  inputSet,
+		ids:       make(map[uint64]int32),
+		pairs:     NewPairCounts(0),
+	}
+}
+
+// Branch consumes one dynamic branch event.
+func (p *NaiveProfiler) Branch(pc uint64, taken bool, icount uint64) {
+	id, ok := p.ids[pc]
+	if !ok {
+		id = int32(len(p.pcs))
+		p.ids[pc] = id
+		p.pcs = append(p.pcs, pc)
+		p.exec = append(p.exec, 0)
+		p.taken = append(p.taken, 0)
+		p.stamp = append(p.stamp, 0)
+		p.seen = append(p.seen, false)
+	}
+	p.exec[id]++
+	if taken {
+		p.taken[id]++
+	}
+	if icount >= p.instructions {
+		p.instructions = icount + 1
+	}
+
+	if p.seen[id] {
+		prev := p.stamp[id]
+		for other := range p.stamp {
+			o := int32(other)
+			if o == id || !p.seen[o] {
+				continue
+			}
+			if p.stamp[o] > prev {
+				p.pairs.Add(PairKey(id, o), 1)
+			}
+		}
+	}
+	p.stamp[id] = icount
+	p.seen[id] = true
+}
+
+// Profile extracts the accumulated profile.
+func (p *NaiveProfiler) Profile() *Profile {
+	out := &Profile{
+		Benchmark:    p.benchmark,
+		InputSets:    []string{p.inputSet},
+		Instructions: p.instructions,
+		PCs:          append([]uint64(nil), p.pcs...),
+		Exec:         append([]uint64(nil), p.exec...),
+		Taken:        append([]uint64(nil), p.taken...),
+		Pairs:        p.pairs.Clone(),
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("BWT1"):
+//
+//	magic            4 bytes  "BWT1"
+//	benchmark        uvarint length + bytes
+//	inputSet         uvarint length + bytes
+//	instructions     uvarint
+//	eventCount       uvarint
+//	events           eventCount records
+//
+// Each event is delta-encoded against its predecessor:
+//
+//	header uvarint:  bit0 = taken, bits1.. = pcWord delta zig-zagged,
+//	                 where pcWord = PC/4
+//	icountDelta      uvarint (ICount - previous ICount)
+//
+// Delta encoding keeps multi-million-event traces to a few bytes per
+// event, making it practical to store paper-scale runs on disk.
+
+var magic = [4]byte{'B', 'W', 'T', '1'}
+
+// ErrBadFormat reports a malformed or truncated trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeString := func(s string) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		bw.Write(buf[:n])
+		bw.WriteString(s)
+	}
+	writeUvarint := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeString(t.Benchmark)
+	writeString(t.InputSet)
+	writeUvarint(t.Instructions)
+	writeUvarint(uint64(len(t.Events)))
+
+	var prevPCWord uint64
+	var prevICount uint64
+	for _, e := range t.Events {
+		pcWord := e.PC / 4
+		delta := zigzag(int64(pcWord) - int64(prevPCWord))
+		header := delta << 1
+		if e.Taken {
+			header |= 1
+		}
+		writeUvarint(header)
+		writeUvarint(e.ICount - prevICount)
+		prevPCWord = pcWord
+		prevICount = e.ICount
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace in the binary trace format from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: unreasonable string length %d", ErrBadFormat, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	t := &Trace{}
+	var err error
+	if t.Benchmark, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: benchmark: %v", ErrBadFormat, err)
+	}
+	if t.InputSet, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: input set: %v", ErrBadFormat, err)
+	}
+	if t.Instructions, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("%w: instructions: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: event count: %v", ErrBadFormat, err)
+	}
+	const maxEvents = 1 << 32
+	if count > maxEvents {
+		return nil, fmt.Errorf("%w: unreasonable event count %d", ErrBadFormat, count)
+	}
+
+	t.Events = make([]Event, 0, count)
+	var prevPCWord uint64
+	var prevICount uint64
+	for i := uint64(0); i < count; i++ {
+		header, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d header: %v", ErrBadFormat, i, err)
+		}
+		dI, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d icount: %v", ErrBadFormat, i, err)
+		}
+		pcWord := uint64(int64(prevPCWord) + unzigzag(header>>1))
+		icount := prevICount + dI
+		t.Events = append(t.Events, Event{
+			PC:     pcWord * 4,
+			ICount: icount,
+			Taken:  header&1 == 1,
+		})
+		prevPCWord = pcWord
+		prevICount = icount
+	}
+	return t, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

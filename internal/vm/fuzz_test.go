@@ -1,0 +1,145 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/rng"
+)
+
+// randomProgram builds a random but structurally valid program: a chain
+// of basic blocks with random ALU/memory work, forward/backward
+// branches with bounded loop counters, and a guaranteed halt. It
+// exercises interpreter paths no hand-written test enumerates.
+func randomProgram(r *rng.Xoshiro256) *program.Program {
+	b := program.NewBuilder("fuzz")
+	b.ReserveMem(512)
+
+	blocks := 3 + r.Intn(6)
+	labels := make([]program.Label, blocks+1)
+	for i := range labels {
+		labels[i] = b.NewLabel()
+	}
+	for i := 0; i < blocks; i++ {
+		b.Bind(labels[i])
+		// Random straight-line work.
+		for n := r.Intn(6); n > 0; n-- {
+			rd := isa.Reg(1 + r.Intn(8))
+			rs := isa.Reg(1 + r.Intn(8))
+			rt := isa.Reg(1 + r.Intn(8))
+			switch r.Intn(8) {
+			case 0:
+				b.Add(rd, rs, rt)
+			case 1:
+				b.Sub(rd, rs, rt)
+			case 2:
+				b.Mul(rd, rs, rt)
+			case 3:
+				b.AddI(rd, rs, int32(r.Intn(100)-50))
+			case 4:
+				b.AndI(rd, rs, int32(r.Intn(256)))
+			case 5:
+				b.Rand(rd)
+			case 6:
+				b.Store(rs, isa.RZero, int32(r.Intn(256)))
+			case 7:
+				b.Load(rd, isa.RZero, int32(r.Intn(256)))
+			}
+		}
+		// Bounded local loop: counter in r10+i%4 runs a few iterations.
+		ctr := isa.Reg(10 + i%4)
+		b.LoadImm(ctr, int32(1+r.Intn(5)))
+		top := b.Here()
+		b.AddI(ctr, ctr, -1)
+		b.Bne(ctr, isa.RZero, top)
+		// Random conditional hop to the next block or the one after.
+		next := i + 1
+		if r.Bool(0.3) && i+2 <= blocks {
+			next = i + 2
+		}
+		b.Rand(1)
+		b.ShrI(1, 1, 63)
+		b.Beq(1, isa.RZero, labels[next])
+		b.Jump(labels[i+1])
+	}
+	b.Bind(labels[blocks])
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		panic(err) // generator bug, not a test failure condition
+	}
+	return p
+}
+
+func TestFuzzRandomProgramsTerminateCleanly(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		p := randomProgram(r)
+		st, err := Run(p, Config{MaxInstructions: 1 << 16, DataSeed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, program.Format(p))
+		}
+		if !st.Halted && st.Instructions < 1<<16 {
+			t.Fatalf("trial %d: stopped early without halt", trial)
+		}
+	}
+}
+
+func TestFuzzRandomProgramsDeterministic(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		p := randomProgram(r)
+		cfg := Config{MaxInstructions: 1 << 14, DataSeed: 99}
+		rec1 := &countSink{}
+		rec2 := &countSink{}
+		c1 := cfg
+		c1.Sink = rec1
+		c2 := cfg
+		c2.Sink = rec2
+		st1, err := Run(p, c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Run(p, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1 != st2 || rec1.n != rec2.n || rec1.sum != rec2.sum {
+			t.Fatalf("trial %d: nondeterministic execution", trial)
+		}
+	}
+}
+
+func TestFuzzRandomProgramsRoundTripText(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		p := randomProgram(r)
+		parsed, err := program.ParseString(program.Format(p))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(parsed.Code) != len(p.Code) {
+			t.Fatalf("trial %d: size changed", trial)
+		}
+		for i := range p.Code {
+			if parsed.Code[i] != p.Code[i] {
+				t.Fatalf("trial %d: inst %d changed: %v vs %v", trial, i, parsed.Code[i], p.Code[i])
+			}
+		}
+	}
+}
+
+type countSink struct {
+	n   uint64
+	sum uint64
+}
+
+func (c *countSink) Branch(pc uint64, taken bool, icount uint64) {
+	c.n++
+	c.sum += pc + icount
+	if taken {
+		c.sum++
+	}
+}

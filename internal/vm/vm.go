@@ -1,0 +1,254 @@
+// Package vm interprets programs for the simulated machine defined in
+// package isa.
+//
+// The interpreter retires one instruction per step and reports every
+// conditional branch to a BranchSink together with the number of
+// instructions retired before it — the time stamp the branch working-set
+// analysis is built on (paper Section 4.1). It is the stand-in for the
+// profiling side of SimpleScalar's sim-bpred.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/rng"
+)
+
+// BranchSink receives one call per retired conditional branch.
+//
+// pc is the byte address of the branch instruction, taken its resolved
+// direction, and icount the number of instructions retired before this
+// one (so the first instruction of the program has icount 0).
+type BranchSink interface {
+	Branch(pc uint64, taken bool, icount uint64)
+}
+
+// BranchFunc adapts a function to the BranchSink interface.
+type BranchFunc func(pc uint64, taken bool, icount uint64)
+
+// Branch calls f.
+func (f BranchFunc) Branch(pc uint64, taken bool, icount uint64) { f(pc, taken, icount) }
+
+// MultiSink fans one branch stream out to several sinks, letting a
+// single program run feed a profiler and several predictors at once.
+type MultiSink []BranchSink
+
+// Branch forwards the event to every sink.
+func (m MultiSink) Branch(pc uint64, taken bool, icount uint64) {
+	for _, s := range m {
+		s.Branch(pc, taken, icount)
+	}
+}
+
+// Config controls one execution.
+type Config struct {
+	// MaxInstructions stops the run after this many retired
+	// instructions; 0 means no limit. The paper truncates its longest
+	// benchmarks at 500M instructions the same way.
+	MaxInstructions uint64
+	// MaxBranches stops the run after this many retired conditional
+	// branches; 0 means no limit.
+	MaxBranches uint64
+	// DataSeed seeds the OpRand stream, modelling the program's input
+	// set. Two runs of one program with different DataSeeds are the
+	// paper's "_a"/"_b" input-set variants.
+	DataSeed uint64
+	// Sink receives conditional-branch events; nil discards them.
+	Sink BranchSink
+}
+
+// Stats summarizes one execution.
+type Stats struct {
+	Instructions uint64 // total retired instructions
+	CondBranches uint64 // retired conditional branches
+	Taken        uint64 // conditional branches resolved taken
+	Calls        uint64
+	Returns      uint64
+	Loads        uint64
+	Stores       uint64
+	// Halted is true if the program executed OpHalt; false means a run
+	// limit stopped it.
+	Halted bool
+}
+
+// TakenRate returns the fraction of conditional branches resolved taken.
+func (s Stats) TakenRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.CondBranches)
+}
+
+// ErrRuntime wraps machine faults (bad memory access, bad return target).
+var ErrRuntime = errors.New("vm: runtime fault")
+
+// Machine executes a single program. A Machine is not safe for
+// concurrent use; run independent Machines in separate goroutines.
+type Machine struct {
+	prog *program.Program
+	mem  []int64
+	regs [isa.NumRegs]int64
+	rand *rng.Xoshiro256
+}
+
+// minMemWords keeps small programs from faulting on stack traffic.
+const minMemWords = 1 << 12
+
+// New returns a Machine loaded with p. The program must validate.
+func New(p *program.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	words := p.MemWords
+	if words < minMemWords {
+		words = minMemWords
+	}
+	return &Machine{prog: p, mem: make([]int64, words)}, nil
+}
+
+// Run executes the loaded program from instruction 0 under cfg and
+// returns execution statistics. Memory and registers are reset first, so
+// consecutive Runs are independent.
+func (m *Machine) Run(cfg Config) (Stats, error) {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.regs = [isa.NumRegs]int64{}
+	// Stack grows down from the top of memory.
+	m.regs[isa.RSP] = int64(len(m.mem) - 1)
+	m.rand = rng.New(cfg.DataSeed)
+
+	var st Stats
+	code := m.prog.Code
+	n := len(code)
+	pc := 0
+	for {
+		if cfg.MaxInstructions != 0 && st.Instructions >= cfg.MaxInstructions {
+			return st, nil
+		}
+		if pc < 0 || pc >= n {
+			return st, fmt.Errorf("%w: pc %d out of range [0,%d)", ErrRuntime, pc, n)
+		}
+		in := code[pc]
+		icount := st.Instructions
+		st.Instructions++
+		next := pc + 1
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			m.set(in.Rd, m.regs[in.Rs]+m.regs[in.Rt])
+		case isa.OpSub:
+			m.set(in.Rd, m.regs[in.Rs]-m.regs[in.Rt])
+		case isa.OpMul:
+			m.set(in.Rd, m.regs[in.Rs]*m.regs[in.Rt])
+		case isa.OpAnd:
+			m.set(in.Rd, m.regs[in.Rs]&m.regs[in.Rt])
+		case isa.OpOr:
+			m.set(in.Rd, m.regs[in.Rs]|m.regs[in.Rt])
+		case isa.OpXor:
+			m.set(in.Rd, m.regs[in.Rs]^m.regs[in.Rt])
+		case isa.OpSlt:
+			m.set(in.Rd, boolTo64(m.regs[in.Rs] < m.regs[in.Rt]))
+		case isa.OpAddI:
+			m.set(in.Rd, m.regs[in.Rs]+int64(in.Imm))
+		case isa.OpAndI:
+			m.set(in.Rd, m.regs[in.Rs]&int64(in.Imm))
+		case isa.OpOrI:
+			m.set(in.Rd, m.regs[in.Rs]|int64(in.Imm))
+		case isa.OpXorI:
+			m.set(in.Rd, m.regs[in.Rs]^int64(in.Imm))
+		case isa.OpSltI:
+			m.set(in.Rd, boolTo64(m.regs[in.Rs] < int64(in.Imm)))
+		case isa.OpShlI:
+			m.set(in.Rd, m.regs[in.Rs]<<(uint32(in.Imm)&63))
+		case isa.OpShrI:
+			m.set(in.Rd, int64(uint64(m.regs[in.Rs])>>(uint32(in.Imm)&63)))
+		case isa.OpLui:
+			m.set(in.Rd, int64(in.Imm)<<16)
+		case isa.OpLoad:
+			addr := m.regs[in.Rs] + int64(in.Imm)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return st, fmt.Errorf("%w: load address %d out of range at pc %d", ErrRuntime, addr, pc)
+			}
+			m.set(in.Rd, m.mem[addr])
+			st.Loads++
+		case isa.OpStore:
+			addr := m.regs[in.Rs] + int64(in.Imm)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return st, fmt.Errorf("%w: store address %d out of range at pc %d", ErrRuntime, addr, pc)
+			}
+			m.mem[addr] = m.regs[in.Rt]
+			st.Stores++
+		case isa.OpRand:
+			m.set(in.Rd, int64(m.rand.Uint64()))
+		case isa.OpBeq, isa.OpBne, isa.OpBltz, isa.OpBgez:
+			taken := false
+			switch in.Op {
+			case isa.OpBeq:
+				taken = m.regs[in.Rs] == m.regs[in.Rt]
+			case isa.OpBne:
+				taken = m.regs[in.Rs] != m.regs[in.Rt]
+			case isa.OpBltz:
+				taken = m.regs[in.Rs] < 0
+			case isa.OpBgez:
+				taken = m.regs[in.Rs] >= 0
+			}
+			if taken {
+				next = pc + 1 + int(in.Imm)
+				st.Taken++
+			}
+			st.CondBranches++
+			if cfg.Sink != nil {
+				cfg.Sink.Branch(isa.PCOf(pc), taken, icount)
+			}
+			if cfg.MaxBranches != 0 && st.CondBranches >= cfg.MaxBranches {
+				return st, nil
+			}
+		case isa.OpJump:
+			next = int(in.Imm)
+		case isa.OpCall:
+			m.set(isa.RRA, int64(pc+1))
+			next = int(in.Imm)
+			st.Calls++
+		case isa.OpRet:
+			t := m.regs[in.Rs]
+			if t < 0 || t >= int64(n) {
+				return st, fmt.Errorf("%w: return target %d out of range at pc %d", ErrRuntime, t, pc)
+			}
+			next = int(t)
+			st.Returns++
+		case isa.OpHalt:
+			st.Halted = true
+			return st, nil
+		default:
+			return st, fmt.Errorf("%w: undefined opcode %v at pc %d", ErrRuntime, in.Op, pc)
+		}
+		pc = next
+	}
+}
+
+func (m *Machine) set(rd isa.Reg, v int64) {
+	if rd != isa.RZero {
+		m.regs[rd] = v
+	}
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run is a convenience that loads p into a fresh Machine and executes it.
+func Run(p *program.Program, cfg Config) (Stats, error) {
+	m, err := New(p)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.Run(cfg)
+}

@@ -1,0 +1,72 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// benchProgram builds a tight loop mixing ALU, memory, and branch work.
+func benchProgram(b *testing.B) *program.Program {
+	b.Helper()
+	bu := program.NewBuilder("bench")
+	bu.ReserveMem(256)
+	bu.LoadImm(1, 1<<30)
+	top := bu.Here()
+	bu.AddI(2, 2, 1)
+	bu.AndI(3, 2, 0xFF)
+	bu.Store(2, isa.RZero, 10)
+	bu.Load(4, isa.RZero, 10)
+	bu.Rand(5)
+	bu.ShrI(5, 5, 60)
+	skip := bu.NewLabel()
+	bu.Bne(5, isa.RZero, skip)
+	bu.Nop()
+	bu.Bind(skip)
+	bu.AddI(1, 1, -1)
+	bu.Bne(1, isa.RZero, top)
+	bu.Halt()
+	p, err := bu.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkInterpreter measures raw instruction throughput.
+func BenchmarkInterpreter(b *testing.B) {
+	p := benchProgram(b)
+	m, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		st, err := m.Run(Config{MaxInstructions: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += st.Instructions
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkInterpreterWithSink measures throughput with a branch sink
+// attached (the profiling configuration).
+func BenchmarkInterpreterWithSink(b *testing.B) {
+	p := benchProgram(b)
+	m, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	count := 0
+	sink := BranchFunc(func(uint64, bool, uint64) { count++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(Config{MaxInstructions: 1 << 20, Sink: sink}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

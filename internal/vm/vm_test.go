@@ -1,0 +1,421 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// build constructs a program from a builder callback.
+func build(t *testing.T, f func(b *program.Builder)) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("test")
+	f(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *program.Program, cfg Config) Stats {
+	t.Helper()
+	st, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return st
+}
+
+func TestArithmetic(t *testing.T) {
+	// Compute (7+5)*3-2 into r1 and verify via a branch trace trick:
+	// branch not-taken if result != 34.
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, 7)
+		b.AddI(1, 1, 5)
+		b.LoadImm(2, 3)
+		b.Mul(1, 1, 2)
+		b.AddI(1, 1, -2)
+		b.SltI(3, 1, 35) // r3 = r1 < 35
+		b.SltI(4, 1, 34) // r4 = r1 < 34
+		b.Halt()
+	})
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[1] != 34 {
+		t.Fatalf("r1 = %d, want 34", m.regs[1])
+	}
+	if m.regs[3] != 1 || m.regs[4] != 0 {
+		t.Fatalf("slt results r3=%d r4=%d", m.regs[3], m.regs[4])
+	}
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, 0b1100)
+		b.LoadImm(2, 0b1010)
+		b.And(3, 1, 2) // 0b1000
+		b.Or(4, 1, 2)  // 0b1110
+		b.Xor(5, 1, 2) // 0b0110
+		b.ShlI(6, 1, 2)
+		b.ShrI(7, 1, 2)
+		b.Sub(8, 1, 2)
+		b.Slt(9, 2, 1)
+		b.AndI(10, 1, 0b0100)
+		b.OrI(11, 1, 0b0001)
+		b.XorI(12, 1, 0b1111)
+		b.Halt()
+	})
+	m, _ := New(p)
+	if _, err := m.Run(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{3: 8, 4: 14, 5: 6, 6: 48, 7: 3, 8: 2, 9: 1, 10: 4, 11: 13, 12: 3}
+	for r, v := range want {
+		if m.regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.regs[r], v)
+		}
+	}
+}
+
+func TestLui(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.Emit(isa.Inst{Op: isa.OpLui, Rd: 1, Imm: 3})
+		b.Halt()
+	})
+	m, _ := New(p)
+	if _, err := m.Run(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[1] != 3<<16 {
+		t.Fatalf("lui result %d", m.regs[1])
+	}
+}
+
+func TestZeroRegisterIsImmutable(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(isa.RZero, 99)
+		b.Halt()
+	})
+	m, _ := New(p)
+	if _, err := m.Run(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[isa.RZero] != 0 {
+		t.Fatalf("r0 = %d after write", m.regs[isa.RZero])
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.ReserveMem(64)
+		b.LoadImm(1, 1234)
+		b.Store(1, isa.RZero, 10)
+		b.Load(2, isa.RZero, 10)
+		b.Halt()
+	})
+	m, _ := New(p)
+	st, err := m.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[2] != 1234 {
+		t.Fatalf("load result %d", m.regs[2])
+	}
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Fatalf("loads=%d stores=%d", st.Loads, st.Stores)
+	}
+}
+
+func TestBranchTakenAndNot(t *testing.T) {
+	var events []struct {
+		pc     uint64
+		taken  bool
+		icount uint64
+	}
+	sink := BranchFunc(func(pc uint64, taken bool, icount uint64) {
+		events = append(events, struct {
+			pc     uint64
+			taken  bool
+			icount uint64
+		}{pc, taken, icount})
+	})
+	p := build(t, func(b *program.Builder) {
+		skip := b.NewLabel()
+		b.LoadImm(1, 1)           // 0
+		b.Beq(1, isa.RZero, skip) // 1: not taken (1 != 0)
+		b.Bne(1, isa.RZero, skip) // 2: taken
+		b.Nop()                   // 3: skipped
+		b.Bind(skip)
+		b.Halt() // 4
+	})
+	st := run(t, p, Config{Sink: sink})
+	if st.CondBranches != 2 || st.Taken != 1 {
+		t.Fatalf("branches=%d taken=%d", st.CondBranches, st.Taken)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].taken || !events[1].taken {
+		t.Fatalf("event directions wrong: %+v", events)
+	}
+	if events[0].pc != isa.PCOf(1) || events[1].pc != isa.PCOf(2) {
+		t.Fatalf("event pcs wrong: %+v", events)
+	}
+	// ICount: instruction 1 executes after 1 retired instruction.
+	if events[0].icount != 1 || events[1].icount != 2 {
+		t.Fatalf("event icounts wrong: %+v", events)
+	}
+}
+
+func TestBltzBgez(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		t1 := b.NewLabel()
+		t2 := b.NewLabel()
+		b.LoadImm(1, -5)
+		b.Bltz(1, t1) // taken
+		b.Halt()
+		b.Bind(t1)
+		b.Bgez(1, t2) // not taken (-5 < 0)
+		b.LoadImm(2, 77)
+		b.Bind(t2)
+		b.Halt()
+	})
+	m, _ := New(p)
+	st, err := m.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Taken != 1 || st.CondBranches != 2 {
+		t.Fatalf("taken=%d branches=%d", st.Taken, st.CondBranches)
+	}
+	if m.regs[2] != 77 {
+		t.Fatal("bgez fall-through path not executed")
+	}
+}
+
+func TestLoopExecutesNTimes(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, 10)
+		top := b.Here()
+		b.AddI(2, 2, 1)
+		b.AddI(1, 1, -1)
+		b.Bne(1, isa.RZero, top)
+		b.Halt()
+	})
+	m, _ := New(p)
+	st, err := m.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[2] != 10 {
+		t.Fatalf("loop body ran %d times, want 10", m.regs[2])
+	}
+	if st.CondBranches != 10 || st.Taken != 9 {
+		t.Fatalf("branches=%d taken=%d, want 10/9", st.CondBranches, st.Taken)
+	}
+	if !st.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		fn := b.NewLabel()
+		b.Call(fn)      // 0
+		b.LoadImm(2, 5) // 1: after return
+		b.Halt()        // 2
+		b.Bind(fn)
+		b.LoadImm(1, 9) // 3
+		b.Ret()         // 4
+	})
+	m, _ := New(p)
+	st, err := m.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[1] != 9 || m.regs[2] != 5 {
+		t.Fatalf("r1=%d r2=%d", m.regs[1], m.regs[2])
+	}
+	if st.Calls != 1 || st.Returns != 1 {
+		t.Fatalf("calls=%d returns=%d", st.Calls, st.Returns)
+	}
+}
+
+func TestNestedCallsWithStack(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		outer := b.NewLabel()
+		inner := b.NewLabel()
+		b.Call(outer)
+		b.Halt()
+		b.Bind(outer)
+		b.AddI(isa.RSP, isa.RSP, -1)
+		b.Store(isa.RRA, isa.RSP, 0)
+		b.Call(inner)
+		b.Load(isa.RRA, isa.RSP, 0)
+		b.AddI(isa.RSP, isa.RSP, 1)
+		b.AddI(1, 1, 100)
+		b.Ret()
+		b.Bind(inner)
+		b.AddI(1, 1, 1)
+		b.Ret()
+	})
+	m, _ := New(p)
+	st, err := m.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.regs[1] != 101 {
+		t.Fatalf("r1 = %d, want 101", m.regs[1])
+	}
+	if st.Calls != 2 || st.Returns != 2 {
+		t.Fatalf("calls=%d returns=%d", st.Calls, st.Returns)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.Rand(1)
+		b.Rand(2)
+		b.Halt()
+	})
+	m1, _ := New(p)
+	m2, _ := New(p)
+	if _, err := m1.Run(Config{DataSeed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(Config{DataSeed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if m1.regs[1] != m2.regs[1] || m1.regs[2] != m2.regs[2] {
+		t.Fatal("same seed produced different rand streams")
+	}
+	m3, _ := New(p)
+	if _, err := m3.Run(Config{DataSeed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if m3.regs[1] == m1.regs[1] && m3.regs[2] == m1.regs[2] {
+		t.Fatal("different seeds produced identical rand streams")
+	}
+}
+
+func TestMaxInstructionsStopsRun(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		top := b.Here()
+		b.Jump(top) // infinite loop
+	})
+	st := run(t, p, Config{MaxInstructions: 1000})
+	if st.Instructions != 1000 {
+		t.Fatalf("instructions = %d, want 1000", st.Instructions)
+	}
+	if st.Halted {
+		t.Fatal("reported halted")
+	}
+}
+
+func TestMaxBranchesStopsRun(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		top := b.Here()
+		b.Beq(isa.RZero, isa.RZero, top)
+	})
+	st := run(t, p, Config{MaxBranches: 7})
+	if st.CondBranches != 7 {
+		t.Fatalf("branches = %d, want 7", st.CondBranches)
+	}
+}
+
+func TestLoadFault(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, -10)
+		b.Load(2, 1, 0)
+		b.Halt()
+	})
+	_, err := Run(p, Config{})
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("expected runtime fault, got %v", err)
+	}
+}
+
+func TestStoreFault(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, 1<<30)
+		b.Store(1, 1, 0)
+		b.Halt()
+	})
+	_, err := Run(p, Config{})
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("expected runtime fault, got %v", err)
+	}
+}
+
+func TestRetFault(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.LoadImm(1, -3)
+		b.RetVia(1)
+		b.Halt()
+	})
+	_, err := Run(p, Config{})
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("expected runtime fault, got %v", err)
+	}
+}
+
+func TestRunResetsState(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.ReserveMem(16)
+		b.Load(1, isa.RZero, 8) // should read 0 on a fresh run
+		b.AddI(1, 1, 1)
+		b.Store(1, isa.RZero, 8)
+		b.Halt()
+	})
+	m, _ := New(p)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run(Config{}); err != nil {
+			t.Fatal(err)
+		}
+		if m.regs[1] != 1 {
+			t.Fatalf("run %d: r1 = %d, want 1 (state leaked)", i, m.regs[1])
+		}
+	}
+}
+
+func TestMultiSinkFanout(t *testing.T) {
+	var a, b int
+	sinkA := BranchFunc(func(uint64, bool, uint64) { a++ })
+	sinkB := BranchFunc(func(uint64, bool, uint64) { b++ })
+	p := build(t, func(bu *program.Builder) {
+		skip := bu.NewLabel()
+		bu.Beq(isa.RZero, isa.RZero, skip)
+		bu.Nop()
+		bu.Bind(skip)
+		bu.Halt()
+	})
+	run(t, p, Config{Sink: MultiSink{sinkA, sinkB}})
+	if a != 1 || b != 1 {
+		t.Fatalf("fanout a=%d b=%d", a, b)
+	}
+}
+
+func TestTakenRate(t *testing.T) {
+	s := Stats{CondBranches: 4, Taken: 3}
+	if got := s.TakenRate(); got != 0.75 {
+		t.Fatalf("TakenRate = %v", got)
+	}
+	if (Stats{}).TakenRate() != 0 {
+		t.Fatal("zero stats TakenRate not 0")
+	}
+}
+
+func TestNewRejectsInvalidProgram(t *testing.T) {
+	p := &program.Program{Name: "bad", Code: nil}
+	if _, err := New(p); err == nil {
+		t.Fatal("New accepted invalid program")
+	}
+}

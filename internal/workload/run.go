@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// RunConfig controls benchmark execution.
+type RunConfig struct {
+	// Input selects the input set; the zero value means InputRef.
+	Input InputSet
+	// Scale multiplies the schedule length; 0 means 1.0. Scale 1.0 runs
+	// the spec's default dynamic size; larger values approach the
+	// paper's full runs.
+	Scale float64
+	// MaxInstructions optionally truncates the run, mirroring the
+	// paper's 500M-instruction cap; 0 means unlimited.
+	MaxInstructions uint64
+}
+
+func (c RunConfig) input() InputSet {
+	if c.Input == (InputSet{}) {
+		return InputRef
+	}
+	return c.Input
+}
+
+// Run executes the benchmark and records its branch trace.
+func (s Spec) Run(cfg RunConfig) (*trace.Trace, vm.Stats, error) {
+	input := cfg.input()
+	rec := trace.NewRecorder(s.Name, input.Name)
+	stats, err := s.RunInto(cfg, rec)
+	if err != nil {
+		return nil, stats, err
+	}
+	return rec.Finish(stats.Instructions), stats, nil
+}
+
+// RunInto executes the benchmark, streaming branch events to sink
+// (which may be a recorder, a profiler, predictor sims, or a MultiSink
+// of several).
+func (s Spec) RunInto(cfg RunConfig, sink vm.BranchSink) (vm.Stats, error) {
+	input := cfg.input()
+	p, err := s.Build(input, cfg.Scale)
+	if err != nil {
+		return vm.Stats{}, err
+	}
+	return vm.Run(p, vm.Config{
+		MaxInstructions: cfg.MaxInstructions,
+		DataSeed:        input.Seed,
+		Sink:            sink,
+	})
+}
+
+// Profile executes the benchmark with an online interleave profiler and
+// returns the resulting profile — the paper's profiling run, without
+// materializing the trace in memory.
+func (s Spec) Profile(cfg RunConfig) (*profile.Profile, vm.Stats, error) {
+	input := cfg.input()
+	prof := profile.NewProfiler(s.Name, input.Name)
+	stats, err := s.RunInto(cfg, prof)
+	if err != nil {
+		return nil, stats, err
+	}
+	prof.SetInstructions(stats.Instructions)
+	return prof.Profile(), stats, nil
+}
