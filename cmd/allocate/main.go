@@ -20,11 +20,42 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
+
+// verifyAllocation applies the optional seeded corruption, then runs
+// the graph and allocation verifiers (-check).
+func verifyAllocation(prof *profile.Profile, alloc *core.Allocation, threshold uint64, corrupt string) error {
+	switch corrupt {
+	case "":
+	case "graph":
+		desc, err := analysis.CorruptGraph(alloc.Graph, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corrupted graph: %s\n", desc)
+	case "alloc":
+		desc, err := analysis.CorruptAllocation(alloc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corrupted allocation: %s\n", desc)
+	default:
+		return fmt.Errorf("unknown -corrupt target %q (want graph or alloc)", corrupt)
+	}
+	if err := analysis.VerifyGraph(alloc.Graph, threshold); err != nil {
+		return fmt.Errorf("check failed: %w", err)
+	}
+	if err := analysis.VerifyAllocation(prof, alloc); err != nil {
+		return fmt.Errorf("check failed: %w", err)
+	}
+	fmt.Println("check: conflict graph and allocation verified")
+	return nil
+}
 
 func main() {
 	var (
@@ -37,15 +68,20 @@ func main() {
 		baseline  = flag.Int("baseline", 1024, "conventional baseline BHT size")
 		threshold = flag.Uint64("threshold", core.DefaultThreshold, "conflict edge pruning threshold")
 		window    = flag.Int("window", 0, "interleave scan window (0 = exact)")
+		check     = flag.Bool("check", false, "verify artifact invariants (conflict graph, allocation); non-zero exit on violation")
+		corrupt   = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or alloc); implies -check")
 	)
 	flag.Parse()
-	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window); err != nil {
+	if *corrupt != "" {
+		*check = true
+	}
+	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *check, *corrupt); err != nil {
 		fmt.Fprintln(os.Stderr, "allocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window int) error {
+func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window int, check bool, corrupt string) error {
 	if bench == "" {
 		return fmt.Errorf("need -bench")
 	}
@@ -110,12 +146,28 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 		fmt.Printf("\nconventional %d-entry baseline conflict cost: %d\n", baseline, res.BaselineCost)
 		fmt.Printf("required BHT size: %d (alloc cost %d, %d colorings)\n",
 			res.RequiredSize, res.AllocCost, res.Colorings)
+		if check {
+			c := cfg
+			c.TableSize = res.RequiredSize
+			a, err := core.Allocate(prof, c)
+			if err != nil {
+				return err
+			}
+			if err := verifyAllocation(prof, a, threshold, corrupt); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
 	alloc, err := core.Allocate(prof, cfg)
 	if err != nil {
 		return err
+	}
+	if check {
+		if err := verifyAllocation(prof, alloc, threshold, corrupt); err != nil {
+			return err
+		}
 	}
 	convCost := core.ConventionalCost(prof, baseline, threshold, alloc.Classification)
 	occupied, maxLoad := alloc.Map.LoadStats()

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/program"
@@ -39,8 +40,13 @@ func main() {
 		top         = flag.Int("top", 5, "print the N largest working sets")
 		coverage    = flag.Float64("coverage", 0, "frequency-filter coverage (0 = the spec's default)")
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
+		check       = flag.Bool("check", false, "verify artifact invariants (conflict graph, working sets); non-zero exit on violation")
+		corrupt     = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or sets); implies -check")
 	)
 	flag.Parse()
+	if *corrupt != "" {
+		*check = true
+	}
 
 	if *list {
 		for _, s := range workload.Specs() {
@@ -48,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *definition, *top, *coverage); err != nil {
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *definition, *top, *coverage, *check, *corrupt); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -73,7 +79,9 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 			return nil, 0, err
 		}
 		prog, err := program.Parse(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -127,7 +135,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 			return nil, 0, err
 		}
 		if err := trace.Write(f, tr); err != nil {
-			f.Close()
+			_ = f.Close() // the Write failure is the error to report
 			return nil, 0, err
 		}
 		if err := f.Close(); err != nil {
@@ -141,7 +149,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	return tr, coverage, nil
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window int, definition string, top int, coverage float64) error {
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window int, definition string, top int, coverage float64, check bool, corrupt string) error {
 	var def core.SetDefinition
 	switch definition {
 	case "cliques":
@@ -178,6 +186,34 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	})
 	if err != nil {
 		return err
+	}
+
+	switch corrupt {
+	case "":
+	case "graph":
+		desc, err := analysis.CorruptGraph(res.Graph, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corrupted graph: %s\n", desc)
+	case "sets":
+		desc, err := analysis.CorruptWorkingSets(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corrupted working sets: %s\n", desc)
+	default:
+		return fmt.Errorf("unknown -corrupt target %q (want graph or sets)", corrupt)
+	}
+
+	if check {
+		if err := analysis.VerifyGraph(res.Graph, threshold); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		if err := analysis.VerifyWorkingSets(res); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		fmt.Println("check: conflict graph and working sets verified")
 	}
 
 	fmt.Printf("\nconflict graph: %s (threshold %d)\n", res.Graph, threshold)

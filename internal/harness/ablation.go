@@ -30,7 +30,7 @@ type ThresholdRow struct {
 // significant difference on the results".
 func (s *Suite) AblationThreshold(benchmarks []string, thresholds []uint64) ([]ThresholdRow, error) {
 	if len(thresholds) == 0 {
-		thresholds = []uint64{50, 100, 500, 1000}
+		thresholds = []uint64{50, core.DefaultThreshold, 500, 1000}
 	}
 	var rows []ThresholdRow
 	for _, name := range benchmarks {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -44,6 +45,11 @@ type Config struct {
 	// window used is printed with each profile step and recorded in
 	// EXPERIMENTS.md.
 	ProfileWindow int
+	// Check runs the internal/analysis artifact verifiers on every
+	// conflict graph, working-set extraction, and allocation the suite
+	// produces, failing the experiment on any invariant violation.
+	// Enabled by the tables CLI's -check flag and by tests.
+	Check bool
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
 }
@@ -54,7 +60,7 @@ func (c Config) Defaults() Config {
 		c.Scale = 1
 	}
 	if c.Threshold == 0 {
-		c.Threshold = 100
+		c.Threshold = core.DefaultThreshold
 	}
 	if c.BaselineBHT == 0 {
 		c.BaselineBHT = 1024

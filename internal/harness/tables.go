@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -70,6 +71,14 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: analyzing %s: %w", name, err)
 		}
+		if s.cfg.Check {
+			if err := analysis.VerifyGraph(res.Graph, s.cfg.Threshold); err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", name, err)
+			}
+			if err := analysis.VerifyWorkingSets(res); err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", name, err)
+			}
+		}
 		rows = append(rows, Table2Row{
 			Benchmark:  name,
 			NumSets:    res.NumSets(),
@@ -116,6 +125,22 @@ func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: sizing %s: %w", sb.Label, err)
+		}
+		if s.cfg.Check {
+			alloc, err := core.Allocate(a.Profile, core.AllocationConfig{
+				TableSize:         res.RequiredSize,
+				Threshold:         s.cfg.Threshold,
+				UseClassification: classified,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: verifying %s: %w", sb.Label, err)
+			}
+			if err := analysis.VerifyGraph(alloc.Graph, s.cfg.Threshold); err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", sb.Label, err)
+			}
+			if err := analysis.VerifyAllocation(a.Profile, alloc); err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", sb.Label, err)
+			}
 		}
 		rows = append(rows, SizeRow{
 			Label:        sb.Label,

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// namedDefault describes one experiment parameter with a canonical
+// defining constant. The confighygiene pass flags bare numeric literals
+// that restate the value in a matching context outside the defining
+// package: a restated default silently diverges when the constant is
+// tuned (the paper's threshold-sensitivity claim, Section 4.2, is only
+// testable if exactly one place defines the threshold).
+type namedDefault struct {
+	// literals are the accepted source spellings of the value.
+	literals []string
+	// contexts are lower-case substrings; the literal is flagged only
+	// when the name it is bound to (field, variable, flag name, or
+	// parameter) contains one of them.
+	contexts []string
+	// constant is the canonical reference to suggest.
+	constant string
+	// defPkg is the import-path suffix of the defining package, which
+	// is exempt.
+	defPkg string
+}
+
+var namedDefaults = []namedDefault{
+	{
+		literals: []string{"100"},
+		contexts: []string{"threshold"},
+		constant: "core.DefaultThreshold",
+		defPkg:   "internal/core",
+	},
+	{
+		literals: []string{"0.99", ".99"},
+		contexts: []string{"taken", "bias"},
+		constant: "classify.Default().Taken",
+		defPkg:   "internal/classify",
+	},
+	{
+		literals: []string{"0.01", ".01"},
+		contexts: []string{"taken", "bias"},
+		constant: "classify.Default().NotTaken",
+		defPkg:   "internal/classify",
+	},
+}
+
+// checkConfig is the config-hygiene pass.
+func checkConfig(p *Package, report func(token.Pos, string)) {
+	active := make([]namedDefault, 0, len(namedDefaults))
+	for _, d := range namedDefaults {
+		if !strings.HasSuffix(p.Path, d.defPkg) {
+			active = append(active, d)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+				return
+			}
+			for _, d := range active {
+				if !matchesLiteral(d, lit.Value) {
+					continue
+				}
+				name, ok := p.bindingName(lit, stack)
+				if !ok {
+					continue
+				}
+				if matchesContext(d, name) {
+					report(lit.Pos(), fmt.Sprintf(
+						"literal %s bound to %q duplicates %s; reference the constant instead",
+						lit.Value, name, d.constant))
+				}
+			}
+		})
+	}
+}
+
+func matchesLiteral(d namedDefault, value string) bool {
+	for _, l := range d.literals {
+		if value == l {
+			return true
+		}
+	}
+	return false
+}
+
+func matchesContext(d namedDefault, name string) bool {
+	lower := strings.ToLower(name)
+	for _, c := range d.contexts {
+		if strings.Contains(lower, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindingName resolves the name a literal is being bound to: the keyed
+// composite-literal field, the assignment or declaration target, the
+// called function's parameter, or a flag-registration name. Literals in
+// arithmetic expressions are derived values, not restated defaults, and
+// yield no binding.
+func (p *Package) bindingName(lit *ast.BasicLit, stack []ast.Node) (string, bool) {
+	child := ast.Node(lit)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.BinaryExpr, *ast.UnaryExpr:
+			return "", false
+		case *ast.KeyValueExpr:
+			if parent.Value == child {
+				if key, ok := parent.Key.(*ast.Ident); ok {
+					return key.Name, true
+				}
+			}
+			return "", false
+		case *ast.AssignStmt:
+			for j, rhs := range parent.Rhs {
+				if rhs == child && j < len(parent.Lhs) {
+					return lastName(parent.Lhs[j]), true
+				}
+			}
+			// Literal nested deeper in a single RHS (e.g. a composite
+			// literal element): attribute it to the first target.
+			if len(parent.Lhs) > 0 {
+				return lastName(parent.Lhs[0]), true
+			}
+			return "", false
+		case *ast.ValueSpec:
+			for j, v := range parent.Values {
+				if v == child && j < len(parent.Names) {
+					return parent.Names[j].Name, true
+				}
+			}
+			if len(parent.Names) > 0 {
+				return parent.Names[0].Name, true
+			}
+			return "", false
+		case *ast.CallExpr:
+			// Type conversions (uint64(100)) are transparent: the
+			// binding is whatever the converted value flows into.
+			if tv, ok := p.Info.Types[parent.Fun]; ok && tv.IsType() {
+				break
+			}
+			return p.callBindingName(parent, child)
+		}
+		child = stack[i]
+	}
+	return "", false
+}
+
+// callBindingName names the parameter an argument literal binds to. For
+// the flag package's registration functions the flag-name string
+// argument is the better context (flag.Uint64("threshold", 100, ...)).
+func (p *Package) callBindingName(call *ast.CallExpr, arg ast.Node) (string, bool) {
+	idx := -1
+	for i, a := range call.Args {
+		if a == arg {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return "", false
+	}
+	fn := funcOf(p.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	if pkgPathOf(fn) == "flag" && idx >= 1 {
+		if s, ok := call.Args[0].(*ast.BasicLit); ok && s.Kind == token.STRING {
+			return strings.Trim(s.Value, `"`), true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	params := sig.Params()
+	if idx >= params.Len() {
+		if !sig.Variadic() || params.Len() == 0 {
+			return "", false
+		}
+		idx = params.Len() - 1
+	}
+	name := params.At(idx).Name()
+	if name == "" || name == "_" {
+		return "", false
+	}
+	return name, true
+}
+
+// lastName renders the rightmost identifier of an lvalue expression
+// (x.Threshold -> Threshold, thresholds -> thresholds).
+func lastName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return lastName(e.X)
+	case *ast.StarExpr:
+		return lastName(e.X)
+	}
+	return ""
+}

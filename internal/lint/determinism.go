@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkRangeMap is the determinism pass: it flags `range` loops over
+// maps whose bodies have order-sensitive effects — appending to a slice
+// that escapes the function without a dominating sort.* call, writing
+// output, or plain-assigning a struct field — since Go randomizes map
+// iteration order and any such effect makes two identical runs produce
+// different artifacts (the exact failure mode the paper's tables must
+// not have).
+//
+// Order-insensitive uses (counter increments, keyed map/slice writes,
+// accumulation into integers) are not flagged, and an effect is only
+// order-sensitive if it actually references the loop's key or value
+// variable.
+func checkRangeMap(p *Package, report func(token.Pos, string)) {
+	for _, file := range p.Files {
+		// funcs tracks enclosing function bodies so the "sorted after
+		// the loop" and "returned from the function" analyses scope to
+		// the innermost function literal or declaration.
+		var funcs []*ast.BlockStmt
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				funcs = append(funcs, fn.Body)
+			case *ast.FuncLit:
+				funcs = append(funcs, fn.Body)
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.X == nil {
+				return
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			var body *ast.BlockStmt
+			for i := len(funcs) - 1; i >= 0; i-- {
+				if funcs[i] != nil && funcs[i].Pos() <= rng.Pos() && rng.End() <= funcs[i].End() {
+					body = funcs[i]
+					break
+				}
+			}
+			p.checkMapRangeBody(rng, body, report)
+		})
+	}
+}
+
+// checkMapRangeBody inspects one map-range loop. enclosing is the body
+// of the innermost enclosing function (nil at file scope, impossible in
+// practice).
+func (p *Package) checkMapRangeBody(rng *ast.RangeStmt, enclosing *ast.BlockStmt, report func(token.Pos, string)) {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	usesLoopVar := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && loopVars[p.Info.ObjectOf(id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := p.outputCall(stmt); ok && usesLoopVar(stmt) {
+				report(stmt.Pos(), fmt.Sprintf(
+					"%s inside range over map: output order depends on map iteration order", name))
+			}
+		case *ast.AssignStmt:
+			p.checkMapRangeAssign(stmt, rng, enclosing, usesLoopVar, report)
+		}
+		return true
+	})
+}
+
+func (p *Package) checkMapRangeAssign(stmt *ast.AssignStmt, rng *ast.RangeStmt,
+	enclosing *ast.BlockStmt, usesLoopVar func(ast.Node) bool, report func(token.Pos, string)) {
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) {
+			break
+		}
+		lhs := stmt.Lhs[i]
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(p.Info, call) {
+			if !usesLoopVar(stmt) {
+				continue
+			}
+			if p.sortedAfter(enclosing, rng.End(), lhs) {
+				continue
+			}
+			if !p.escapes(enclosing, lhs) {
+				continue
+			}
+			report(stmt.Pos(), fmt.Sprintf(
+				"append to %s inside range over map without a later sort: element order depends on map iteration order",
+				types.ExprString(lhs)))
+			continue
+		}
+		// A plain `=` to a struct field keeps only the last iteration's
+		// value — which iteration that is depends on map order.
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && stmt.Tok == token.ASSIGN && usesLoopVar(stmt) {
+			report(stmt.Pos(), fmt.Sprintf(
+				"assignment to field %s inside range over map: surviving value depends on map iteration order",
+				types.ExprString(sel)))
+		}
+	}
+}
+
+// outputCall reports whether call writes user-visible output: a
+// fmt.Print*/Fprint* call or a Write*/Print* method.
+func (p *Package) outputCall(call *ast.CallExpr) (string, bool) {
+	fn := funcOf(p.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if pkgPathOf(fn) == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name, true
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+			return "call to " + name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a sort.*/slices.* call mentioning target
+// appears in body after pos — the dominating sort that restores
+// determinism.
+func (p *Package) sortedAfter(body *ast.BlockStmt, pos token.Pos, target ast.Expr) bool {
+	if body == nil {
+		return false
+	}
+	want := types.ExprString(ast.Unparen(target))
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := funcOf(p.Info, call)
+		switch pkgPathOf(fn) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), want) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether target's contents leave the enclosing
+// function: a struct-field target always does; a local variable does if
+// it (or its address) appears in a return statement.
+func (p *Package) escapes(body *ast.BlockStmt, target ast.Expr) bool {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(t)
+		if obj == nil || body == nil {
+			return true
+		}
+		escaped := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return !escaped
+			}
+			for _, res := range ret.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+						escaped = true
+					}
+					return !escaped
+				})
+			}
+			return !escaped
+		})
+		return escaped
+	}
+	return true
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// entropyImports are the ambient-entropy packages banned outside
+// internal/rng: their streams differ across runs (crypto/rand), Go
+// releases (math/rand), or are seeded ambiently (math/rand/v2's global
+// functions), so any use makes a run unreproducible.
+var entropyImports = map[string]string{
+	"math/rand":    "unseeded/global math/rand",
+	"math/rand/v2": "ambiently seeded math/rand/v2",
+	"crypto/rand":  "non-deterministic crypto/rand",
+}
+
+// checkEntropy is the ambient-entropy pass: outside internal/rng,
+// importing a rand package or reading the wall clock is flagged. Seeded
+// randomness must come from internal/rng; timing output that is
+// intentionally wall-clock (progress lines) carries a
+// //reprolint:allow entropy annotation recording that audit.
+func checkEntropy(p *Package, report func(token.Pos, string)) {
+	if strings.HasSuffix(p.Path, "internal/rng") {
+		return
+	}
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, ok := entropyImports[path]; ok {
+				report(imp.Pos(), fmt.Sprintf("import of %s (%s); use the seeded internal/rng API", path, why))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcOf(p.Info, call)
+			if pkgPathOf(fn) != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				report(call.Pos(), fmt.Sprintf(
+					"time.%s reads the wall clock: results must not depend on ambient time", fn.Name()))
+			}
+			return true
+		})
+	}
+}
+
+// walkWithStack visits every node with the stack of its ancestors
+// (innermost last, not including n itself).
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

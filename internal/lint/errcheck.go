@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkErrors is the unchecked-error pass: in internal/ and cmd/
+// packages, a call whose results include an error must not stand alone
+// as an expression statement — the error must be consumed or explicitly
+// discarded with `_ =`. Silently dropped errors are how a truncated
+// trace file or failed write turns into a wrong table instead of a
+// failed run.
+//
+// Exclusions, matching the common errcheck conventions: fmt.Print* /
+// fmt.Fprint* (best-effort console output) and the never-failing
+// writers strings.Builder and bytes.Buffer.
+func checkErrors(p *Package, report func(token.Pos, string)) {
+	if !strings.Contains(p.Path+"/", "/internal/") && !strings.Contains(p.Path+"/", "/cmd/") {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p.Info, call) || errcheckExcluded(p.Info, call) {
+				return true
+			}
+			report(stmt.Pos(), fmt.Sprintf(
+				"error result of %s is dropped; handle it or discard explicitly with `_ =`",
+				types.ExprString(call.Fun)))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func errcheckExcluded(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if pkgPathOf(fn) == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		s := recv.Type().String()
+		if strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,333 @@
+// Package lint implements reprolint, the repository's static-analysis
+// pass (see cmd/reprolint). It is built only on the standard library's
+// go/ast, go/parser, go/token and go/types packages, and encodes three
+// repo-specific invariants:
+//
+//   - determinism: artifact-producing code must not let map iteration
+//     order or ambient entropy (time, math/rand) leak into results
+//     (pass "determinism" and pass "entropy");
+//
+//   - unchecked errors: error returns in internal/ and cmd/ must be
+//     consumed or explicitly discarded with `_ =` (pass "errcheck");
+//
+//   - config hygiene: numeric literals duplicating named experiment
+//     defaults (the edge-pruning threshold 100, the 99%/1% bias
+//     cutoffs) must reference the defining constant instead (pass
+//     "confighygiene").
+//
+// Findings can be suppressed with a trailing or preceding comment of the
+// form
+//
+//	//reprolint:allow <pass> [reason...]
+//
+// which is itself the audit trail: it marks code a human has checked is
+// deterministic (or intentionally wall-clock) despite the pattern.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Pass, f.Msg)
+}
+
+// Package is one loaded, type-checked package ready for linting.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/graph
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+
+	// allow maps file name -> line -> set of suppressed pass names
+	// ("all" suppresses every pass).
+	allow map[string]map[int]map[string]bool
+}
+
+// pass is one lint pass over a package.
+type pass struct {
+	name string
+	run  func(*Package, func(token.Pos, string))
+}
+
+// passes is the registry, in reporting order.
+var passes = []pass{
+	{"determinism", checkRangeMap},
+	{"entropy", checkEntropy},
+	{"errcheck", checkErrors},
+	{"confighygiene", checkConfig},
+}
+
+// PassNames returns the registered pass names.
+func PassNames() []string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Findings runs every pass over p and returns unsuppressed findings
+// sorted by position.
+func (p *Package) Findings() []Finding { return Lint(p) }
+
+// Lint runs every pass over pkg and returns unsuppressed findings
+// sorted by position.
+func Lint(pkg *Package) []Finding {
+	var out []Finding
+	for _, p := range passes {
+		name := p.name
+		p.run(pkg, func(pos token.Pos, msg string) {
+			position := pkg.Fset.Position(pos)
+			if pkg.suppressed(position, name) {
+				return
+			}
+			out = append(out, Finding{Pos: position, Pass: name, Msg: msg})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}
+
+func (p *Package) suppressed(pos token.Position, pass string) bool {
+	lines := p.allow[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := lines[line]; set != nil && (set[pass] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows indexes //reprolint:allow comments by file and line.
+func (p *Package) collectAllows() {
+	p.allow = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//reprolint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					p.allow[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				set[fields[0]] = true
+			}
+		}
+	}
+}
+
+// Loader loads and type-checks packages of one module, sharing the
+// FileSet and the (caching) source importer across packages.
+type Loader struct {
+	Root   string // module root directory
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+	imp    types.Importer
+}
+
+// NewLoader returns a Loader for the module rooted at dir (the
+// directory containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   dir,
+		Module: module,
+		Fset:   fset,
+		imp:    importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// PackageDirs expands patterns ("./...", "./cmd/...", or plain package
+// directories) into the set of directories under Root holding at least
+// one non-test .go file. testdata and hidden directories are skipped.
+func (l *Loader) PackageDirs(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) error {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isLintableFile(e.Name()) {
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(l.Root, strings.TrimSuffix(rest, "/"))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return add(path)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(filepath.Join(l.Root, pat)); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func isLintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the package in dir. Test files are
+// excluded: the passes guard artifact-producing code, and fixtures
+// under testdata intentionally violate them.
+func (l *Loader) Load(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isLintableFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return TypeCheck(l.Fset, path, files, l.imp)
+}
+
+// TypeCheck type-checks files as package path and wraps them as a
+// lintable Package. Exported for tests, which synthesize fixture
+// packages from source strings.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	if imp == nil {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: fset, Files: files, Info: info, Types: tpkg}
+	pkg.collectAllows()
+	return pkg, nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// funcOf resolves the called function object of a call expression, or
+// nil for calls through function values, builtins, and conversions.
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of fn's defining package, or "" for
+// builtins.
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

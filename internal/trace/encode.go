@@ -37,16 +37,18 @@ func Write(w io.Writer, t *Trace) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
+	// bufio.Writer errors are sticky: the first failure latches and the
+	// final Flush returns it, so per-write checks would be redundant.
 	writeString := func(s string) {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], uint64(len(s)))
-		bw.Write(buf[:n])
-		bw.WriteString(s)
+		bw.Write(buf[:n]) //reprolint:allow errcheck sticky; Flush reports it
+		bw.WriteString(s) //reprolint:allow errcheck sticky; Flush reports it
 	}
 	writeUvarint := func(v uint64) {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], v)
-		bw.Write(buf[:n])
+		bw.Write(buf[:n]) //reprolint:allow errcheck sticky; Flush reports it
 	}
 	writeString(t.Benchmark)
 	writeString(t.InputSet)
