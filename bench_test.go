@@ -7,9 +7,11 @@ package repro
 // scale chosen so a single iteration stays in benchmark-friendly
 // territory; run cmd/tables -scale 1 for the full-scale numbers recorded
 // in EXPERIMENTS.md. Custom metrics report the experiment's headline
-// quantity alongside time/op.
+// quantity alongside time/op. cmd/bench wraps these same experiments
+// into the machine-readable BENCH_2.json regression report.
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/harness"
@@ -25,6 +27,7 @@ func newBenchSuite() *harness.Suite {
 // BenchmarkTable1 regenerates Table 1: benchmark execution, dynamic
 // branch counts, and frequency-filter coverage.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		rows, err := s.Table1()
@@ -42,6 +45,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: working-set extraction across the
 // Table 2 benchmark set.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		rows, err := s.Table2()
@@ -59,6 +63,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table 3: the required-BHT-size search for
 // plain branch allocation over all 14 benchmark/input rows.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		rows, err := s.Table3()
@@ -76,6 +81,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 regenerates Table 4: required BHT size with branch
 // classification.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		rows, err := s.Table4()
@@ -93,6 +99,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkFigure3 regenerates Figure 3: misprediction-rate comparison
 // of conventional, allocated (16/128/1024), and interference-free PAg.
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		f, err := s.Figure3()
@@ -107,6 +114,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4: the same comparison with branch
 // classification — the paper's headline 16% improvement at 1024 entries.
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
 		f, err := s.Figure4()
@@ -121,6 +129,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkPipelineSingle measures the full single-benchmark pipeline
 // (run → filter → profile) on the paper's most demanding program, gcc.
 func BenchmarkPipelineSingle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, err := ProfileBenchmark("gcc", RunConfig{Scale: benchScale})
 		if err != nil {
@@ -128,4 +137,30 @@ func BenchmarkPipelineSingle(b *testing.B) {
 		}
 		b.ReportMetric(float64(p.NumBranches()), "static-branches")
 	}
+}
+
+// benchmarkSuiteRunAll regenerates the complete evaluation — every
+// table and both figures — under one harness configuration.
+func benchmarkSuiteRunAll(b *testing.B, cfg harness.Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Scale = benchScale
+		s := harness.NewSuite(cfg)
+		if err := harness.RunAll(s, io.Discard, false); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.RetainedTraceBytes()), "trace-bytes")
+	}
+}
+
+// BenchmarkSuiteSerialRecord is the pre-parallel pipeline: one worker,
+// record-then-replay, full traces retained.
+func BenchmarkSuiteSerialRecord(b *testing.B) {
+	benchmarkSuiteRunAll(b, harness.Config{Workers: 1})
+}
+
+// BenchmarkSuiteParallelFused is the streaming pipeline at the default
+// worker count: fused execution, no retained traces.
+func BenchmarkSuiteParallelFused(b *testing.B) {
+	benchmarkSuiteRunAll(b, harness.Config{Fused: true})
 }

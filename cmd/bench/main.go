@@ -1,0 +1,291 @@
+// Command bench measures the experiment harness and emits a
+// machine-readable benchmark report (default BENCH_2.json) for
+// regression tracking: per-experiment ns/op, allocs/op, bytes/op and
+// approximate branch-stream throughput in Mbranches/s, plus a suite
+// section comparing serial record-then-replay against the parallel
+// fused pipeline (wall clock and retained trace memory).
+//
+// Usage:
+//
+//	bench [-scale 0.1] [-workers 8] [-o BENCH_2.json]
+//	      [-baseline BENCH_2.json] [-tolerance 0.25] [-update]
+//
+// With -baseline it compares each experiment's ns/op against the
+// committed baseline and exits nonzero on a regression beyond the
+// tolerance. Baselines are machine-specific: regenerate with -update
+// when the reference hardware changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// ExperimentResult is one benchmarked experiment.
+type ExperimentResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	MBranchesPerS float64 `json:"mbranches_per_s"`
+}
+
+// SuiteComparison contrasts the two harness pipelines over a full run
+// (all tables and figures).
+type SuiteComparison struct {
+	Workers          int     `json:"workers"`
+	SerialRecordNs   int64   `json:"serial_record_ns"`
+	ParallelFusedNs  int64   `json:"parallel_fused_ns"`
+	Speedup          float64 `json:"speedup"`
+	RecordTraceBytes uint64  `json:"record_trace_bytes"`
+	FusedTraceBytes  uint64  `json:"fused_trace_bytes"`
+}
+
+// Report is the BENCH_2.json schema.
+type Report struct {
+	Scale       float64            `json:"scale"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Experiments []ExperimentResult `json:"experiments"`
+	Suite       SuiteComparison    `json:"suite"`
+}
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.1, "workload scale factor for the benchmarks")
+		workers   = flag.Int("workers", 8, "worker count for the parallel fused comparison")
+		out       = flag.String("o", "BENCH_2.json", "write the benchmark report here")
+		baseline  = flag.String("baseline", "", "compare against this baseline report")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
+		update    = flag.Bool("update", false, "overwrite the baseline with this run's report")
+	)
+	flag.Parse()
+
+	rep, err := measure(*scale, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline != "" && !*update {
+		if err := compare(*baseline, rep, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *update && *baseline != "" && *baseline != *out {
+		if err := os.WriteFile(*baseline, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated baseline %s\n", *baseline)
+	}
+}
+
+// experiment is one benchmarkable harness experiment.
+type experiment struct {
+	name string
+	run  func(*harness.Suite) error
+}
+
+func experiments() []experiment {
+	table := func(n int) func(*harness.Suite) error {
+		return func(s *harness.Suite) error { return discardTable(s, n) }
+	}
+	figure := func(n int) func(*harness.Suite) error {
+		return func(s *harness.Suite) error { return discardFigure(s, n) }
+	}
+	return []experiment{
+		{"table1", table(1)},
+		{"table2", table(2)},
+		{"table3", table(3)},
+		{"table4", table(4)},
+		{"figure3", figure(3)},
+		{"figure4", figure(4)},
+	}
+}
+
+// Rendering goes to io.Discard: formatting is part of the experiment,
+// terminal I/O is not.
+func discardTable(s *harness.Suite, n int) error {
+	return harness.RunTable(s, io.Discard, n, false)
+}
+
+func discardFigure(s *harness.Suite, n int) error {
+	return harness.RunFigure(s, io.Discard, n, false)
+}
+
+func measure(scale float64, workers int) (*Report, error) {
+	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	for _, e := range experiments() {
+		e := e
+		var benchErr error
+		var branchesPerOp uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh suite per iteration measures the experiment
+				// cold: workload execution, filtering, profiling,
+				// analysis, simulation and rendering.
+				s := harness.NewSuite(harness.Config{Scale: scale, Fused: true})
+				if err := e.run(s); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if i == 0 {
+					branchesPerOp = streamBranches(s)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, benchErr)
+		}
+		res := ExperimentResult{
+			Name:        e.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.NsPerOp() > 0 {
+			res.MBranchesPerS = float64(branchesPerOp) / (float64(r.NsPerOp()) / 1e9) / 1e6
+		}
+		fmt.Printf("%-8s %12d ns/op %12d B/op %9d allocs/op %8.2f Mbranches/s\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.MBranchesPerS)
+		rep.Experiments = append(rep.Experiments, res)
+	}
+
+	suite, err := compareSuites(scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Suite = *suite
+	fmt.Printf("suite    serial/record %v, parallel(%d)/fused %v: %.2fx, trace bytes %d -> %d\n",
+		time.Duration(suite.SerialRecordNs), suite.Workers, time.Duration(suite.ParallelFusedNs),
+		suite.Speedup, suite.RecordTraceBytes, suite.FusedTraceBytes)
+	return rep, nil
+}
+
+// streamBranches estimates the branch events that flowed through the
+// experiment's artifact pipeline: every cached benchmark contributed
+// its full stream (execution) plus its filtered stream (profiling).
+// It is a throughput denominator, not an exact event count — figure
+// re-executions and replays are not included. See README "Performance".
+func streamBranches(s *harness.Suite) uint64 {
+	var total uint64
+	for _, name := range workload.Names() {
+		for _, input := range []workload.InputSet{workload.InputRef, workload.InputA, workload.InputB} {
+			a, ok := s.Cached(name, input)
+			if !ok {
+				continue
+			}
+			total += a.Filter.DynamicTotal + a.Filter.DynamicKept
+		}
+	}
+	return total
+}
+
+// compareSuites runs the complete table+figure composition once per
+// pipeline and reports wall clock and retained trace memory.
+func compareSuites(scale float64, workers int) (*SuiteComparison, error) {
+	run := func(cfg harness.Config) (time.Duration, uint64, error) {
+		s := harness.NewSuite(cfg)
+		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
+		if err := harness.RunAll(s, io.Discard, false); err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start) //reprolint:allow entropy benchmark wall-clock measurement
+		return elapsed, s.RetainedTraceBytes(), nil
+	}
+	serialNs, recBytes, err := run(harness.Config{Scale: scale, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	fusedNs, fusedBytes, err := run(harness.Config{Scale: scale, Workers: workers, Fused: true})
+	if err != nil {
+		return nil, err
+	}
+	c := &SuiteComparison{
+		Workers:          workers,
+		SerialRecordNs:   serialNs.Nanoseconds(),
+		ParallelFusedNs:  fusedNs.Nanoseconds(),
+		RecordTraceBytes: recBytes,
+		FusedTraceBytes:  fusedBytes,
+	}
+	if fusedNs > 0 {
+		c.Speedup = float64(serialNs) / float64(fusedNs)
+	}
+	return c, nil
+}
+
+// compare fails on any experiment whose ns/op regressed beyond
+// tolerance relative to the baseline report. New experiments (absent
+// from the baseline) pass; missing ones are reported.
+func compare(baselinePath string, rep *Report, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	if base.Scale != rep.Scale {
+		fmt.Printf("baseline scale %v differs from run scale %v; comparing anyway\n", base.Scale, rep.Scale)
+	}
+	baseBy := make(map[string]ExperimentResult, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseBy[e.Name] = e
+	}
+	var failures []string
+	for _, e := range rep.Experiments {
+		b, ok := baseBy[e.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(e.NsPerOp) / float64(b.NsPerOp)
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %d ns/op vs baseline %d (%.2fx > %.2fx allowed)",
+					e.Name, e.NsPerOp, b.NsPerOp, ratio, 1+tolerance))
+		}
+		fmt.Printf("compare %-8s %.2fx vs baseline (%s)\n", e.Name, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n\t%s", len(failures), joinLines(failures))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n\t"
+		}
+		out += l
+	}
+	return out
+}

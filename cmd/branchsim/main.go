@@ -6,15 +6,20 @@
 //
 //	branchsim -bench gcc [-predictors pag,pag-alloc,pag-ideal,bimodal,gshare,gag,static,taken]
 //	          [-bht 1024] [-pht 4096] [-alloc-size 1024] [-classify]
+//	          [-tail n] [-cpuprofile f] [-memprofile f]
 //
 // The pag-alloc predictor first profiles the same run and builds a
-// branch allocation, mirroring the paper's compile-time flow.
+// branch allocation, mirroring the paper's compile-time flow. -tail n
+// prints the last n branch events of the stream (a bounded ring, so it
+// costs O(n) memory regardless of run length).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -35,15 +40,54 @@ func main() {
 		allocSize  = flag.Int("alloc-size", 1024, "BHT entries for the allocated PAg")
 		classifyF  = flag.Bool("classify", false, "use branch classification in the allocation")
 		bimodalN   = flag.Int("bimodal", 2048, "bimodal table entries")
+		tail       = flag.Int("tail", 0, "print the last n branch events of the stream")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*bench, *input, *scale, *predictors, *bht, *pht, *allocSize, *classifyF, *bimodalN); err != nil {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "branchsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "branchsim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "branchsim:", err)
+			}
+		}()
+	}
+
+	if err := run(*bench, *input, *scale, *predictors, *bht, *pht, *allocSize, *classifyF, *bimodalN, *tail); err != nil {
 		fmt.Fprintln(os.Stderr, "branchsim:", err)
 		os.Exit(1)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "branchsim:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "branchsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "branchsim:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(bench, input string, scale float64, predictors string, bht, pht, allocSize int, useClass bool, bimodalN int) error {
+func run(bench, input string, scale float64, predictors string, bht, pht, allocSize int, useClass bool, bimodalN, tail int) error {
 	if bench == "" {
 		return fmt.Errorf("need -bench")
 	}
@@ -89,6 +133,15 @@ func run(bench, input string, scale float64, predictors string, bht, pht, allocS
 	for _, s := range sims {
 		r := s.Result()
 		fmt.Printf("%-40s mispredict %.4f  (%d/%d)\n", r.Name, r.Rate(), r.Mispredicts, r.Branches)
+	}
+
+	if tail > 0 {
+		ring := trace.NewRing(tail)
+		tr.Replay(ring)
+		fmt.Printf("\nlast %d of %d branch events:\n", len(ring.Tail()), ring.Total())
+		for _, e := range ring.Tail() {
+			fmt.Printf("  icount=%-12d pc=%#x taken=%v\n", e.ICount, e.PC, e.Taken)
+		}
 	}
 	return nil
 }

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	tables [-scale f] [-table n] [-figure n] [-markdown] [-quiet]
+//	       [-workers n] [-fused] [-cpuprofile f] [-memprofile f]
 //
 // Without -table/-figure it runs everything. -markdown emits
-// GitHub-style tables suitable for EXPERIMENTS.md.
+// GitHub-style tables suitable for EXPERIMENTS.md. Benchmarks run
+// concurrently (-workers, default GOMAXPROCS) and, by default, in fused
+// streaming mode (-fused=false restores record-then-replay); the
+// rendered output is byte-identical across worker counts and modes.
 package main
 
 import (
@@ -15,25 +19,48 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
-	"repro/internal/pipeline"
 )
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default size; larger approaches paper scale)")
-		table    = flag.Int("table", 0, "run only this table (1-4)")
-		figure   = flag.Int("figure", 0, "run only this figure (3 or 4)")
-		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		budget   = flag.Int("clique-budget", 0, "maximal-clique enumeration budget (0 = default)")
-		ablation = flag.Bool("ablations", false, "also run the ablation studies (threshold, definition, grouped, window)")
-		extras   = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
-		check    = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default size; larger approaches paper scale)")
+		table      = flag.Int("table", 0, "run only this table (1-4)")
+		figure     = flag.Int("figure", 0, "run only this figure (3 or 4)")
+		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		budget     = flag.Int("clique-budget", 0, "maximal-clique enumeration budget (0 = default)")
+		ablation   = flag.Bool("ablations", false, "also run the ablation studies (threshold, definition, grouped, window)")
+		extras     = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
+		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
+		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
+		fused      = flag.Bool("fused", true, "stream branch events straight into the analyses instead of recording full traces")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+			}
+		}()
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
@@ -43,6 +70,8 @@ func main() {
 		Scale:        *scale,
 		CliqueBudget: *budget,
 		Check:        *check,
+		Workers:      *workers,
+		Fused:        *fused,
 		Progress:     progress,
 	})
 
@@ -55,13 +84,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *ablation {
-		if err := runAblations(suite, *markdown); err != nil {
+		if err := harness.RunAblations(suite, os.Stdout, *markdown); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
 	}
 	if *extras {
-		if err := runExtras(suite, *markdown); err != nil {
+		if err := harness.RunExtras(suite, os.Stdout, *markdown); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
@@ -70,120 +99,38 @@ func main() {
 		//reprolint:allow entropy stderr progress timing only
 		fmt.Fprintf(os.Stderr, "total: %s\n", time.Since(start).Round(time.Millisecond))
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func run(suite *harness.Suite, all bool, table, figure int, markdown bool) error {
-	section := func(title string) {
-		fmt.Printf("\n## %s\n\n", title)
+	if all {
+		return harness.RunAll(suite, os.Stdout, markdown)
 	}
-	if all || table == 1 {
-		rows, err := suite.Table1()
-		if err != nil {
+	if table != 0 {
+		if err := harness.RunTable(suite, os.Stdout, table, markdown); err != nil {
 			return err
 		}
-		section("Table 1: benchmarks, dynamic branches, and analysis coverage")
-		fmt.Print(harness.RenderTable1(rows, markdown))
 	}
-	if all || table == 2 {
-		rows, err := suite.Table2()
-		if err != nil {
+	if figure != 0 {
+		if err := harness.RunFigure(suite, os.Stdout, figure, markdown); err != nil {
 			return err
 		}
-		section("Table 2: branch working set sizes")
-		fmt.Print(harness.RenderTable2(rows, markdown))
 	}
-	if all || table == 3 {
-		rows, err := suite.Table3()
-		if err != nil {
-			return err
-		}
-		section("Table 3: BHT size required for branch allocation")
-		fmt.Print(harness.RenderSizeTable(rows, suite.Config().BaselineBHT, markdown))
-	}
-	if all || table == 4 {
-		rows, err := suite.Table4()
-		if err != nil {
-			return err
-		}
-		section("Table 4: BHT size required with branch classification")
-		fmt.Print(harness.RenderSizeTable(rows, suite.Config().BaselineBHT, markdown))
-	}
-	if all || figure == 3 {
-		f, err := suite.Figure3()
-		if err != nil {
-			return err
-		}
-		section("Figure 3: misprediction rates, branch allocation")
-		fmt.Print(harness.RenderFigure(f, markdown))
-		fmt.Printf("\naverage improvement of alloc-%d over conventional: %.1f%%\n",
-			f.Sizes[len(f.Sizes)-1], 100*f.Average.Improvement())
-	}
-	if all || figure == 4 {
-		f, err := suite.Figure4()
-		if err != nil {
-			return err
-		}
-		section("Figure 4: misprediction rates, allocation with classification")
-		fmt.Print(harness.RenderFigure(f, markdown))
-		fmt.Printf("\naverage improvement of alloc-%d over conventional: %.1f%%\n",
-			f.Sizes[len(f.Sizes)-1], 100*f.Average.Improvement())
-	}
-	return nil
-}
-
-// ablationBenchmarks is a representative spread: one small, one medium,
-// one large program.
-var ablationBenchmarks = []string{"compress", "li", "gcc"}
-
-func runAblations(suite *harness.Suite, markdown bool) error {
-	section := func(title string) { fmt.Printf("\n## %s\n\n", title) }
-
-	th, err := suite.AblationThreshold(ablationBenchmarks, nil)
-	if err != nil {
-		return err
-	}
-	section("Ablation: pruning threshold sensitivity (paper Section 4.2 claim)")
-	fmt.Print(harness.RenderAblationThreshold(th, markdown))
-
-	def, err := suite.AblationDefinition(ablationBenchmarks)
-	if err != nil {
-		return err
-	}
-	section("Ablation: working-set definition (maximal cliques vs greedy partition)")
-	fmt.Print(harness.RenderAblationDefinition(def, markdown))
-
-	grp, err := suite.AblationGrouped(ablationBenchmarks)
-	if err != nil {
-		return err
-	}
-	section("Ablation: pre-classified branch groups (paper Sections 2/6 extension)")
-	fmt.Print(harness.RenderAblationGrouped(grp, markdown))
-
-	win, err := suite.AblationWindow("li", nil)
-	if err != nil {
-		return err
-	}
-	section("Ablation: interleave scan window (this reproduction's optimization)")
-	fmt.Print(harness.RenderAblationWindow(win, markdown))
-	return nil
-}
-
-func runExtras(suite *harness.Suite, markdown bool) error {
-	section := func(title string) { fmt.Printf("\n## %s\n\n", title) }
-
-	cmp, err := suite.Comparison()
-	if err != nil {
-		return err
-	}
-	section("Extended: branch allocation vs hardware anti-interference schemes")
-	fmt.Print(harness.RenderComparison(cmp, markdown))
-
-	model := pipeline.Deep()
-	costs, err := suite.PipelineCosts(model)
-	if err != nil {
-		return err
-	}
-	section("Extended: modeled pipeline cost (deeply pipelined front end)")
-	fmt.Print(harness.RenderPipeline(costs, model, markdown))
 	return nil
 }

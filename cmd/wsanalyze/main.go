@@ -5,6 +5,7 @@
 //
 //	wsanalyze -bench gcc [-input ref] [-scale f] [-threshold n]
 //	          [-window n] [-definition cliques|partition] [-top n]
+//	          [-cpuprofile f] [-memprofile f]
 //	wsanalyze -trace file.bwt [-threshold n] ...
 //	wsanalyze -program file.s [-input ref] ...
 //
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -42,6 +45,8 @@ func main() {
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
 		check       = flag.Bool("check", false, "verify artifact invariants (conflict graph, working sets); non-zero exit on violation")
 		corrupt     = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or sets); implies -check")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *corrupt != "" {
@@ -54,9 +59,45 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			}
+		}()
+	}
+
 	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *definition, *top, *coverage, *check, *corrupt); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
 	}
 }
 

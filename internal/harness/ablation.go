@@ -6,6 +6,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -32,12 +33,13 @@ func (s *Suite) AblationThreshold(benchmarks []string, thresholds []uint64) ([]T
 	if len(thresholds) == 0 {
 		thresholds = []uint64{50, core.DefaultThreshold, 500, 1000}
 	}
-	var rows []ThresholdRow
-	for _, name := range benchmarks {
+	perBench, err := mapOrdered(s.cfg.Workers, len(benchmarks), func(i int) ([]ThresholdRow, error) {
+		name := benchmarks[i]
 		a, err := s.Artifacts(name, workload.InputRef)
 		if err != nil {
 			return nil, err
 		}
+		var rows []ThresholdRow
 		for _, th := range thresholds {
 			res, err := core.Analyze(a.Profile, core.AnalysisConfig{
 				Threshold:    th,
@@ -55,6 +57,14 @@ func (s *Suite) AblationThreshold(benchmarks []string, thresholds []uint64) ([]T
 				Edges:      res.Graph.NumEdges(),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThresholdRow
+	for _, r := range perBench {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }
@@ -73,11 +83,11 @@ type DefinitionRow struct {
 // AblationDefinition compares maximal-clique (overlapping) and greedy
 // partition (disjoint) working sets.
 func (s *Suite) AblationDefinition(benchmarks []string) ([]DefinitionRow, error) {
-	var rows []DefinitionRow
-	for _, name := range benchmarks {
+	return mapOrdered(s.cfg.Workers, len(benchmarks), func(i int) (DefinitionRow, error) {
+		name := benchmarks[i]
 		a, err := s.Artifacts(name, workload.InputRef)
 		if err != nil {
-			return nil, err
+			return DefinitionRow{}, err
 		}
 		mc, err := core.Analyze(a.Profile, core.AnalysisConfig{
 			Threshold:    s.cfg.Threshold,
@@ -85,25 +95,24 @@ func (s *Suite) AblationDefinition(benchmarks []string) ([]DefinitionRow, error)
 			CliqueBudget: s.cfg.CliqueBudget,
 		})
 		if err != nil {
-			return nil, err
+			return DefinitionRow{}, err
 		}
 		gp, err := core.Analyze(a.Profile, core.AnalysisConfig{
 			Threshold:  s.cfg.Threshold,
 			Definition: core.GreedyPartition,
 		})
 		if err != nil {
-			return nil, err
+			return DefinitionRow{}, err
 		}
-		rows = append(rows, DefinitionRow{
+		return DefinitionRow{
 			Benchmark:       name,
 			CliqueSets:      mc.NumSets(),
 			CliqueAvgStatic: mc.AvgStaticSize(),
 			PartitionSets:   gp.NumSets(),
 			PartitionAvg:    gp.AvgStaticSize(),
 			CliqueTruncated: mc.Truncated,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // GroupedRow compares individual-branch and grouped (pre-classified)
@@ -120,36 +129,35 @@ type GroupedRow struct {
 // AblationGrouped measures how collapsing biased branches into class
 // groups (Sections 2/6) shrinks the working sets.
 func (s *Suite) AblationGrouped(benchmarks []string) ([]GroupedRow, error) {
-	var rows []GroupedRow
-	for _, name := range benchmarks {
+	return mapOrdered(s.cfg.Workers, len(benchmarks), func(i int) (GroupedRow, error) {
+		name := benchmarks[i]
 		a, err := s.Artifacts(name, workload.InputRef)
 		if err != nil {
-			return nil, err
+			return GroupedRow{}, err
 		}
 		ind, err := core.Analyze(a.Profile, core.AnalysisConfig{
 			Threshold:    s.cfg.Threshold,
 			CliqueBudget: s.cfg.CliqueBudget,
 		})
 		if err != nil {
-			return nil, err
+			return GroupedRow{}, err
 		}
 		grp, err := core.AnalyzeGrouped(a.Profile, core.AnalysisConfig{
 			Threshold:    s.cfg.Threshold,
 			CliqueBudget: s.cfg.CliqueBudget,
 		}, classify.Default())
 		if err != nil {
-			return nil, err
+			return GroupedRow{}, err
 		}
-		rows = append(rows, GroupedRow{
+		return GroupedRow{
 			Benchmark:      name,
 			IndividualSets: ind.NumSets(),
 			IndividualAvg:  ind.AvgStaticSize(),
 			GroupedSets:    grp.Analysis.NumSets(),
 			GroupedAvg:     grp.Analysis.AvgStaticSize(),
 			BiasedFraction: grp.Classification.BiasedDynamicFraction(a.Profile),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WindowRow measures the effect of the profiling scan window.
@@ -173,15 +181,25 @@ func (s *Suite) AblationWindow(benchmark string, windows []int) ([]WindowRow, er
 		ws := a.Spec.WorkingSetSize()
 		windows = []int{ws, 2 * ws, 4 * ws, 0}
 	}
-	var rows []WindowRow
-	for _, w := range windows {
+	// One pass over the filtered stream feeds every window's profiler
+	// (they are independent consumers), so the ablation costs a single
+	// replay — or a single fused re-execution — for all rows.
+	profilers := make([]*profile.Profiler, len(windows))
+	fan := make(vm.MultiSink, len(windows))
+	for i, w := range windows {
 		var opts []profile.Option
 		if w > 0 {
 			opts = append(opts, profile.WithWindow(w))
 		}
-		prof := profile.NewProfiler(benchmark, a.Input.Name, opts...)
-		a.Filter.Kept.Replay(prof)
-		p := prof.Profile()
+		profilers[i] = profile.NewProfiler(benchmark, a.Input.Name, opts...)
+		fan[i] = profilers[i]
+	}
+	if err := s.replayFiltered(a, fan); err != nil {
+		return nil, err
+	}
+	var rows []WindowRow
+	for i, w := range windows {
+		p := profilers[i].Profile()
 		res, err := core.Analyze(p, core.AnalysisConfig{
 			Threshold:    s.cfg.Threshold,
 			CliqueBudget: s.cfg.CliqueBudget,
@@ -197,6 +215,7 @@ func (s *Suite) AblationWindow(benchmark string, windows []int) ([]WindowRow, er
 			NumSets:   res.NumSets(),
 			AvgStatic: res.AvgStaticSize(),
 		})
+		p.Release() // transient: the analysis result is all that is kept
 	}
 	return rows, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/predict"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -39,22 +40,16 @@ type ComparisonRow struct {
 }
 
 // Comparison runs the related-work predictor comparison over the figure
-// benchmark set.
+// benchmark set, one benchmark per worker.
 func (s *Suite) Comparison() ([]ComparisonRow, error) {
-	var rows []ComparisonRow
-	for _, name := range FigureBenchmarks {
-		a, err := s.Artifacts(name, workload.InputRef)
+	return mapOrdered(s.cfg.Workers, len(FigureBenchmarks), func(i int) (ComparisonRow, error) {
+		a, err := s.Artifacts(FigureBenchmarks[i], workload.InputRef)
 		if err != nil {
-			return nil, err
+			return ComparisonRow{}, err
 		}
-		s.progressf("comparison sims %s", name)
-		row, err := s.comparisonRow(a)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		s.progressf("comparison sims %s", FigureBenchmarks[i])
+		return s.comparisonRow(a)
+	})
 }
 
 func (s *Suite) comparisonRow(a *Artifacts) (ComparisonRow, error) {
@@ -111,11 +106,13 @@ func (s *Suite) comparisonRow(a *Artifacts) (ComparisonRow, error) {
 		predict.NewSim(gshare), predict.NewSim(gas), predict.NewSim(comb),
 		predict.NewSim(ifree),
 	}
-	fan := make(multiSink, len(sims))
+	fan := make(vm.MultiSink, len(sims))
 	for i, sim := range sims {
 		fan[i] = sim
 	}
-	a.Trace.Replay(fan)
+	if err := s.replayFull(a, fan); err != nil {
+		return row, err
+	}
 
 	row.Conventional = sims[0].MispredictRate()
 	row.Allocated = sims[1].MispredictRate()
@@ -142,13 +139,14 @@ type PipelineRow struct {
 	MPKIConventional, MPKIAllocated float64
 }
 
-// PipelineCosts evaluates the pipeline model over the figure benchmarks.
+// PipelineCosts evaluates the pipeline model over the figure
+// benchmarks, one benchmark per worker.
 func (s *Suite) PipelineCosts(model pipeline.Model) ([]PipelineRow, error) {
-	var rows []PipelineRow
-	for _, name := range FigureBenchmarks {
+	return mapOrdered(s.cfg.Workers, len(FigureBenchmarks), func(i int) (PipelineRow, error) {
+		name := FigureBenchmarks[i]
 		a, err := s.Artifacts(name, workload.InputRef)
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		s.progressf("pipeline costs %s", name)
 
@@ -158,32 +156,34 @@ func (s *Suite) PipelineCosts(model pipeline.Model) ([]PipelineRow, error) {
 			UseClassification: true,
 		})
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		conv, err := predict.NewPAg(predict.PCModIndexer{Entries: s.cfg.BaselineBHT}, s.cfg.PHTEntries)
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		allocated, err := predict.NewPAg(predict.AllocIndexer{Map: alloc.Map}, s.cfg.PHTEntries)
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		ifree, err := predict.NewPAg(predict.NewIdealIndexer(), s.cfg.PHTEntries)
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		sims := []*predict.Sim{predict.NewSim(conv), predict.NewSim(allocated), predict.NewSim(ifree)}
-		fan := make(multiSink, len(sims))
+		fan := make(vm.MultiSink, len(sims))
 		for i, sim := range sims {
 			fan[i] = sim
 		}
-		a.Trace.Replay(fan)
+		if err := s.replayFull(a, fan); err != nil {
+			return PipelineRow{}, err
+		}
 
 		st := a.VMStats
 		costConv := model.Evaluate(st.Instructions, st.CondBranches, st.Taken, sims[0].Mispredicts())
 		costAlloc := model.Evaluate(st.Instructions, st.CondBranches, st.Taken, sims[1].Mispredicts())
 		costIdeal := model.Evaluate(st.Instructions, st.CondBranches, st.Taken, sims[2].Mispredicts())
-		rows = append(rows, PipelineRow{
+		return PipelineRow{
 			Benchmark:        name,
 			CPIConventional:  costConv.CPI(),
 			CPIAllocated:     costAlloc.CPI(),
@@ -191,9 +191,8 @@ func (s *Suite) PipelineCosts(model pipeline.Model) ([]PipelineRow, error) {
 			Speedup:          pipeline.Speedup(costConv, costAlloc),
 			MPKIConventional: costConv.MPKI(),
 			MPKIAllocated:    costAlloc.MPKI(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderComparison formats the related-work comparison.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/predict"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -53,24 +54,24 @@ func (s *Suite) Figure4() (*FigureResult, error) { return s.figure(true) }
 
 func (s *Suite) figure(classified bool) (*FigureResult, error) {
 	res := &FigureResult{Classified: classified, Sizes: s.cfg.AllocBHTSizes}
-	for _, name := range FigureBenchmarks {
-		a, err := s.Artifacts(name, workload.InputRef)
+	rows, err := mapOrdered(s.cfg.Workers, len(FigureBenchmarks), func(i int) (FigureRow, error) {
+		a, err := s.Artifacts(FigureBenchmarks[i], workload.InputRef)
 		if err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
-		s.progressf("figure sims %s (classification=%v)", name, classified)
-		row, err := s.figureRow(a, classified)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		s.progressf("figure sims %s (classification=%v)", FigureBenchmarks[i], classified)
+		return s.figureRow(a, classified)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Average = averageRow(res.Rows, len(s.cfg.AllocBHTSizes))
 	return res, nil
 }
 
 // figureRow simulates every predictor configuration of one figure over
-// one benchmark's full trace.
+// one benchmark's full branch stream.
 func (s *Suite) figureRow(a *Artifacts, classified bool) (FigureRow, error) {
 	row := FigureRow{Benchmark: a.Spec.Name}
 
@@ -110,13 +111,16 @@ func (s *Suite) figureRow(a *Artifacts, classified bool) (FigureRow, error) {
 		allocSims[i] = predict.NewSim(p)
 	}
 
-	// One replay drives every configuration on the identical stream.
-	sinks := make(multiSink, 0, len(allocSims)+2)
+	// One stream drives every configuration: the recorded trace in
+	// record mode, a fused re-execution otherwise.
+	sinks := make(vm.MultiSink, 0, len(allocSims)+2)
 	sinks = append(sinks, convSim, ifreeSim)
 	for _, sim := range allocSims {
 		sinks = append(sinks, sim)
 	}
-	a.Trace.Replay(sinks)
+	if err := s.replayFull(a, sinks); err != nil {
+		return row, err
+	}
 
 	row.Conventional = convSim.MispredictRate()
 	row.InterferenceFree = ifreeSim.MispredictRate()
@@ -126,19 +130,6 @@ func (s *Suite) figureRow(a *Artifacts, classified bool) (FigureRow, error) {
 		row.Alloc[i] = sim.MispredictRate()
 	}
 	return row, nil
-}
-
-// multiSink fans replayed events to several sims (the harness-local
-// analogue of vm.MultiSink, kept here to avoid importing vm for one
-// type).
-type multiSink []interface {
-	Branch(pc uint64, taken bool, icount uint64)
-}
-
-func (m multiSink) Branch(pc uint64, taken bool, icount uint64) {
-	for _, s := range m {
-		s.Branch(pc, taken, icount)
-	}
 }
 
 // averageRow computes the arithmetic mean across rows.

@@ -1,0 +1,54 @@
+package harness
+
+import "sync"
+
+// mapOrdered computes out[i] = f(i) for i in [0, n) using up to workers
+// goroutines and returns the results in index order — the deterministic
+// merge every experiment relies on: work is scheduled concurrently, but
+// tables and figures are always assembled in fixed benchmark order.
+//
+// With workers <= 1 the indices run strictly serially in order and the
+// first error aborts immediately, matching the pre-parallel harness
+// exactly. In parallel mode all scheduled work completes and the
+// lowest-index error is returned, so the reported failure does not
+// depend on goroutine timing.
+func mapOrdered[T any](workers, n int, f func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

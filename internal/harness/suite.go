@@ -1,14 +1,26 @@
 // Package harness defines and runs the paper's experiments: Tables 1-4
 // and Figures 3-4 (see DESIGN.md's per-experiment index). A Suite caches
-// the expensive per-benchmark artifacts — the executed trace, the
-// frequency-filtered trace, and the interleave profile — so that every
-// table and figure derived from one benchmark shares a single run, as
-// the paper's methodology does.
+// the expensive per-benchmark artifacts — the branch statistics, the
+// frequency filter, and the interleave profile — so that every table and
+// figure derived from one benchmark shares a single run, as the paper's
+// methodology does.
+//
+// The suite is an embarrassingly parallel pipeline, like the
+// trace-driven simulators it reproduces: benchmarks are independent, so
+// a worker pool (Config.Workers) computes per-benchmark artifacts and
+// per-row experiment results concurrently, while every table and figure
+// is assembled in fixed benchmark order — rendered output is
+// byte-identical for any worker count. Config.Fused additionally
+// replaces the record-then-replay flow with streamed execution: the VM's
+// branch stream fans out directly to the analysis consumers and no full
+// trace is retained (see DESIGN.md §10).
 package harness
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -50,7 +62,21 @@ type Config struct {
 	// produces, failing the experiment on any invariant violation.
 	// Enabled by the tables CLI's -check flag and by tests.
 	Check bool
+	// Workers caps how many benchmarks are processed concurrently
+	// across artifact computation, analysis, and predictor simulation;
+	// 0 means GOMAXPROCS, 1 runs strictly serially. Results merge in
+	// fixed benchmark order, so rendered output does not depend on it.
+	Workers int
+	// Fused streams each benchmark's branch stream straight into the
+	// analysis consumers in fused execution passes instead of recording
+	// a full trace and replaying it: Artifacts.Trace and Filter.Kept
+	// stay nil and peak memory drops from O(dynamic branches) to
+	// O(static branches) per benchmark. Experiment results are
+	// identical either way (the VM is deterministic).
+	Fused bool
 	// Progress, when non-nil, receives one line per completed step.
+	// Lines from concurrent workers may interleave, but each line is
+	// written atomically.
 	Progress io.Writer
 }
 
@@ -71,6 +97,9 @@ func (c Config) Defaults() Config {
 	if len(c.AllocBHTSizes) == 0 {
 		c.AllocBHTSizes = []int{16, 128, 1024}
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -79,21 +108,43 @@ type Artifacts struct {
 	Spec    workload.Spec
 	Input   workload.InputSet
 	VMStats vm.Stats
-	Trace   *trace.Trace       // full recorded trace
-	Filter  trace.FilterResult // frequency filter at the spec's coverage
-	Profile *profile.Profile   // interleave profile of the filtered trace
+	// Trace is the full recorded trace; nil in fused mode.
+	Trace *trace.Trace
+	// Filter is the frequency filter at the spec's coverage. In fused
+	// mode its counts are populated but Filter.Kept is nil — the
+	// filtered stream is regenerated on demand (see Suite.replayFiltered).
+	Filter trace.FilterResult
+	// Profile is the interleave profile of the filtered stream.
+	Profile *profile.Profile
+	// keep is the analyzed static branch set (fused mode only); it
+	// reproduces the filtered stream from a re-execution.
+	keep map[uint64]struct{}
 }
 
-// Suite runs experiments with shared per-benchmark caching. It is not
-// safe for concurrent use.
+// entry is one cache slot; done closes when the computation finishes,
+// so concurrent requests for the same benchmark wait instead of
+// duplicating the run.
+type entry struct {
+	done chan struct{}
+	a    *Artifacts
+	err  error
+}
+
+// Suite runs experiments with shared per-benchmark caching. Methods are
+// safe for concurrent use; concurrent requests for one benchmark share
+// a single computation.
 type Suite struct {
-	cfg   Config
-	cache map[string]*Artifacts
+	cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	progMu sync.Mutex
 }
 
 // NewSuite returns a Suite with cfg (unset fields defaulted).
 func NewSuite(cfg Config) *Suite {
-	return &Suite{cfg: cfg.Defaults(), cache: make(map[string]*Artifacts)}
+	return &Suite{cfg: cfg.Defaults(), cache: make(map[string]*entry)}
 }
 
 // Config returns the effective configuration.
@@ -101,58 +152,203 @@ func (s *Suite) Config() Config { return s.cfg }
 
 func (s *Suite) progressf(format string, args ...any) {
 	if s.cfg.Progress != nil {
+		s.progMu.Lock()
 		fmt.Fprintf(s.cfg.Progress, format+"\n", args...)
+		s.progMu.Unlock()
 	}
 }
 
 // Artifacts runs (or returns the cached run of) one benchmark under one
-// input set: execute, record, frequency-filter, and profile.
+// input set: execute, frequency-filter, and profile — via record and
+// replay, or via fused streaming passes when Config.Fused is set.
 func (s *Suite) Artifacts(benchmark string, input workload.InputSet) (*Artifacts, error) {
 	key := benchmark + "/" + input.Name
-	if a, ok := s.cache[key]; ok {
-		return a, nil
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.a, e.err
 	}
+	e := &entry{done: make(chan struct{})}
+	s.cache[key] = e
+	s.mu.Unlock()
+
+	e.a, e.err = s.compute(benchmark, input)
+	if e.err != nil {
+		// Do not cache failures; a later call may retry.
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.a, e.err
+}
+
+func (s *Suite) compute(benchmark string, input workload.InputSet) (*Artifacts, error) {
 	spec, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.Fused {
+		return s.computeFused(spec, input)
+	}
+	return s.computeRecord(spec, input)
+}
 
-	s.progressf("run %s (input %s, scale %.2f)", benchmark, input.Name, s.cfg.Scale)
+// profileWindow resolves the interleave scan window for one spec.
+func (s *Suite) profileWindow(spec workload.Spec) int {
+	window := s.cfg.ProfileWindow
+	switch {
+	case window < 0:
+		return 0 // exact, unbounded
+	case window == 0:
+		return 2 * spec.WorkingSetSize()
+	}
+	return window
+}
+
+// computeRecord is the record-then-replay path: execute once into a
+// recorder, filter the trace, and replay the filtered trace into the
+// profiler. It retains the full trace in the artifacts.
+func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Artifacts, error) {
+	s.progressf("run %s (input %s, scale %.2f)", spec.Name, input.Name, s.cfg.Scale)
 	tr, stats, err := spec.Run(workload.RunConfig{Input: input, Scale: s.cfg.Scale})
 	if err != nil {
-		return nil, fmt.Errorf("harness: running %s: %w", benchmark, err)
+		return nil, fmt.Errorf("harness: running %s: %w", spec.Name, err)
 	}
 
 	filter := tr.FilterByCoverage(spec.AnalyzeCoverage)
 
-	window := s.cfg.ProfileWindow
-	switch {
-	case window < 0:
-		window = 0 // exact, unbounded
-	case window == 0:
-		window = 2 * spec.WorkingSetSize()
-	}
+	window := s.profileWindow(spec)
 	s.progressf("profile %s: %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
-		benchmark, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
-	prof := profile.NewProfiler(benchmark, input.Name, profile.WithWindow(window))
+		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
+	prof := profile.NewProfiler(spec.Name, input.Name, profile.WithWindow(window))
 	filter.Kept.Replay(prof)
 	prof.SetInstructions(stats.Instructions)
 
-	a := &Artifacts{
+	return &Artifacts{
 		Spec:    spec,
 		Input:   input,
 		VMStats: stats,
 		Trace:   tr,
 		Filter:  filter,
 		Profile: prof.Profile(),
+	}, nil
+}
+
+// computeFused is the streaming path: a frequency pre-count pass
+// derives the same keep set the recorded filter would select, then a
+// second execution streams the filtered events straight into the
+// profiler. No event buffer is ever materialized.
+func (s *Suite) computeFused(spec workload.Spec, input workload.InputSet) (*Artifacts, error) {
+	runCfg := workload.RunConfig{Input: input, Scale: s.cfg.Scale}
+
+	s.progressf("run %s (fused pre-count, input %s, scale %.2f)", spec.Name, input.Name, s.cfg.Scale)
+	var freq trace.FreqCounter
+	stats, err := spec.RunInto(runCfg, &freq)
+	if err != nil {
+		return nil, fmt.Errorf("harness: running %s: %w", spec.Name, err)
 	}
-	s.cache[key] = a
-	return a, nil
+	branchStats := freq.Stats()
+	dynTotal, staticTotal := freq.Total()
+	keep, dynKept := trace.SelectByCoverage(branchStats, spec.AnalyzeCoverage)
+	filter := trace.FilterResult{
+		StaticKept:   len(keep),
+		StaticTotal:  staticTotal,
+		DynamicKept:  dynKept,
+		DynamicTotal: dynTotal,
+	}
+
+	window := s.profileWindow(spec)
+	s.progressf("profile %s (fused): %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
+		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
+	prof := profile.NewProfiler(spec.Name, input.Name, profile.WithWindow(window))
+	if _, err := spec.RunInto(runCfg, trace.FilterSink{Keep: keep, Sink: prof}); err != nil {
+		return nil, fmt.Errorf("harness: profiling %s: %w", spec.Name, err)
+	}
+	prof.SetInstructions(stats.Instructions)
+
+	return &Artifacts{
+		Spec:    spec,
+		Input:   input,
+		VMStats: stats,
+		Filter:  filter,
+		Profile: prof.Profile(),
+		keep:    keep,
+	}, nil
+}
+
+// replayFull drives the benchmark's complete branch stream into sink:
+// from the recorded trace when one is retained, or by re-executing the
+// deterministic VM in fused mode. Both deliver the identical stream.
+func (s *Suite) replayFull(a *Artifacts, sink vm.BranchSink) error {
+	if a.Trace != nil {
+		a.Trace.Replay(sink)
+		return nil
+	}
+	if _, err := a.Spec.RunInto(workload.RunConfig{Input: a.Input, Scale: s.cfg.Scale}, sink); err != nil {
+		return fmt.Errorf("harness: replaying %s: %w", a.Spec.Name, err)
+	}
+	return nil
+}
+
+// replayFiltered drives the frequency-filtered stream into sink — the
+// recorded filtered trace, or a filtered re-execution in fused mode.
+func (s *Suite) replayFiltered(a *Artifacts, sink vm.BranchSink) error {
+	if a.Filter.Kept != nil {
+		a.Filter.Kept.Replay(sink)
+		return nil
+	}
+	if _, err := a.Spec.RunInto(workload.RunConfig{Input: a.Input, Scale: s.cfg.Scale},
+		trace.FilterSink{Keep: a.keep, Sink: sink}); err != nil {
+		return fmt.Errorf("harness: replaying %s (filtered): %w", a.Spec.Name, err)
+	}
+	return nil
+}
+
+// Cached returns a benchmark's artifacts only if they are already
+// computed, without triggering (or waiting on) a computation. The
+// benchmark tooling uses it to enumerate what a run actually touched.
+func (s *Suite) Cached(benchmark string, input workload.InputSet) (*Artifacts, bool) {
+	s.mu.Lock()
+	e, ok := s.cache[benchmark+"/"+input.Name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		return e.a, e.err == nil
+	default:
+		return nil, false
+	}
 }
 
 // Drop evicts a benchmark's cached artifacts, freeing its trace memory.
 func (s *Suite) Drop(benchmark string, input workload.InputSet) {
+	s.mu.Lock()
 	delete(s.cache, benchmark+"/"+input.Name)
+	s.mu.Unlock()
+}
+
+// RetainedTraceBytes reports the event memory held by cached full
+// traces — the residency fused mode eliminates (it always reports 0
+// there). In-flight computations are not counted.
+func (s *Suite) RetainedTraceBytes() uint64 {
+	const eventBytes = 24 // sizeof(trace.Event): two uint64 + padded bool
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, e := range s.cache {
+		select {
+		case <-e.done:
+			if e.a != nil && e.a.Trace != nil {
+				total += uint64(cap(e.a.Trace.Events)) * eventBytes
+			}
+		default:
+		}
+	}
+	return total
 }
 
 // Table2Benchmarks is the paper's Table 2 row set (gs and tex appear

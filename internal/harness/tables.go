@@ -22,25 +22,25 @@ type Table1Row struct {
 }
 
 // Table1 runs every benchmark and reports the dynamic branch counts and
-// the frequency filter's coverage.
+// the frequency filter's coverage. Benchmarks run concurrently under
+// the suite's worker pool; rows come back in canonical order.
 func (s *Suite) Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range workload.Names() {
-		a, err := s.Artifacts(name, workload.InputRef)
+	names := workload.Names()
+	return mapOrdered(s.cfg.Workers, len(names), func(i int) (Table1Row, error) {
+		a, err := s.Artifacts(names[i], workload.InputRef)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
-			Benchmark:       name,
+		return Table1Row{
+			Benchmark:       names[i],
 			InputSet:        a.Input.Name,
 			TotalDynamic:    a.Filter.DynamicTotal,
 			AnalyzedDynamic: a.Filter.DynamicKept,
 			Coverage:        a.Filter.Coverage(),
 			StaticTotal:     a.Filter.StaticTotal,
 			StaticAnalyzed:  a.Filter.StaticKept,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table2Row reproduces one row of Table 2: working set count and average
@@ -54,13 +54,14 @@ type Table2Row struct {
 	Truncated  bool
 }
 
-// Table2 runs working-set analysis on each Table 2 benchmark.
+// Table2 runs working-set analysis on each Table 2 benchmark, one
+// benchmark per worker.
 func (s *Suite) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range Table2Benchmarks {
+	return mapOrdered(s.cfg.Workers, len(Table2Benchmarks), func(i int) (Table2Row, error) {
+		name := Table2Benchmarks[i]
 		a, err := s.Artifacts(name, workload.InputRef)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		s.progressf("working sets %s", name)
 		res, err := core.Analyze(a.Profile, core.AnalysisConfig{
@@ -69,26 +70,25 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			CliqueBudget: s.cfg.CliqueBudget,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("harness: analyzing %s: %w", name, err)
+			return Table2Row{}, fmt.Errorf("harness: analyzing %s: %w", name, err)
 		}
 		if s.cfg.Check {
 			if err := analysis.VerifyGraph(res.Graph, s.cfg.Threshold); err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", name, err)
+				return Table2Row{}, fmt.Errorf("harness: %s: %w", name, err)
 			}
 			if err := analysis.VerifyWorkingSets(res); err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", name, err)
+				return Table2Row{}, fmt.Errorf("harness: %s: %w", name, err)
 			}
 		}
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Benchmark:  name,
 			NumSets:    res.NumSets(),
 			AvgStatic:  res.AvgStaticSize(),
 			AvgDynamic: res.AvgDynamicSize(),
 			MaxSet:     res.MaxSetSize(),
 			Truncated:  res.Truncated,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SizeRow reproduces one row of Table 3 or 4: the BHT size at which
@@ -112,11 +112,12 @@ func (s *Suite) Table4() ([]SizeRow, error) {
 }
 
 func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
-	var rows []SizeRow
-	for _, sb := range SizedBenchmarkRows() {
+	rows := SizedBenchmarkRows()
+	return mapOrdered(s.cfg.Workers, len(rows), func(i int) (SizeRow, error) {
+		sb := rows[i]
 		a, err := s.Artifacts(sb.Name, sb.Input)
 		if err != nil {
-			return nil, err
+			return SizeRow{}, err
 		}
 		s.progressf("required size %s (classification=%v)", sb.Label, classified)
 		res, err := core.RequiredBHTSize(a.Profile, s.cfg.BaselineBHT, core.AllocationConfig{
@@ -124,7 +125,7 @@ func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
 			UseClassification: classified,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("harness: sizing %s: %w", sb.Label, err)
+			return SizeRow{}, fmt.Errorf("harness: sizing %s: %w", sb.Label, err)
 		}
 		if s.cfg.Check {
 			alloc, err := core.Allocate(a.Profile, core.AllocationConfig{
@@ -133,21 +134,20 @@ func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
 				UseClassification: classified,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("harness: verifying %s: %w", sb.Label, err)
+				return SizeRow{}, fmt.Errorf("harness: verifying %s: %w", sb.Label, err)
 			}
 			if err := analysis.VerifyGraph(alloc.Graph, s.cfg.Threshold); err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", sb.Label, err)
+				return SizeRow{}, fmt.Errorf("harness: %s: %w", sb.Label, err)
 			}
 			if err := analysis.VerifyAllocation(a.Profile, alloc); err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", sb.Label, err)
+				return SizeRow{}, fmt.Errorf("harness: %s: %w", sb.Label, err)
 			}
 		}
-		rows = append(rows, SizeRow{
+		return SizeRow{
 			Label:        sb.Label,
 			RequiredSize: res.RequiredSize,
 			AllocCost:    res.AllocCost,
 			BaselineCost: res.BaselineCost,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

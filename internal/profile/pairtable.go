@@ -2,6 +2,7 @@ package profile
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 )
 
@@ -63,6 +64,47 @@ func NewPairCounts(capacityHint int) *PairCounts {
 
 // Len returns the number of distinct pairs stored.
 func (t *PairCounts) Len() int { return t.n }
+
+// Cap returns the number of entries the table can hold before growing.
+func (t *PairCounts) Cap() int { return len(t.keys) * pairMaxLoadN / pairMaxLoadD }
+
+// Reset clears the table for reuse, keeping its allocation and seed.
+func (t *PairCounts) Reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+		t.vals[i] = 0
+	}
+	t.n = 0
+}
+
+// pairPool recycles extraction tables: profile extraction is the
+// harness's dominant transient allocation (the table is sized for every
+// interleave pair of a benchmark), and ablations/benchmarks extract
+// hundreds of times.
+var pairPool sync.Pool
+
+// GetPairCounts returns an empty table sized for capacityHint entries,
+// reusing a pooled allocation when one is large enough.
+func GetPairCounts(capacityHint int) *PairCounts {
+	if v := pairPool.Get(); v != nil {
+		t := v.(*PairCounts)
+		if t.Cap() >= capacityHint {
+			return t
+		}
+		// Too small: let it be collected and allocate to size.
+	}
+	return NewPairCounts(capacityHint)
+}
+
+// PutPairCounts resets t and returns it to the pool. The caller must
+// not use t afterwards.
+func PutPairCounts(t *PairCounts) {
+	if t == nil {
+		return
+	}
+	t.Reset()
+	pairPool.Put(t)
+}
 
 // slot hashes the key into the table: seeded xor, Fibonacci multiply,
 // top bits.

@@ -58,6 +58,16 @@ type Profile struct {
 // NumBranches returns the number of distinct static branches profiled.
 func (p *Profile) NumBranches() int { return len(p.PCs) }
 
+// Release returns the profile's pair table to the package pool for
+// reuse by a later extraction. Call it only on transient profiles whose
+// analysis is complete; the profile must not be used afterwards.
+func (p *Profile) Release() {
+	if p.Pairs != nil {
+		PutPairCounts(p.Pairs)
+		p.Pairs = nil
+	}
+}
+
 // DynamicBranches returns the total dynamic branch count.
 func (p *Profile) DynamicBranches() uint64 {
 	var total uint64

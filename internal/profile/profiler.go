@@ -98,6 +98,25 @@ func (c *nbrCounter) grow() {
 	}
 }
 
+// has reports whether key is stored.
+func (c *nbrCounter) has(key int32) bool {
+	if c.keys == nil {
+		return false
+	}
+	mask := uint32(len(c.keys) - 1)
+	i := (uint32(key) * 0x9e3779b9) & mask
+	for {
+		k := c.keys[i]
+		if k == key {
+			return true
+		}
+		if k == -1 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // each calls f for every (key, count) stored.
 func (c *nbrCounter) each(f func(key int32, count uint32)) {
 	for i, k := range c.keys {
@@ -199,14 +218,33 @@ func (p *Profiler) Branches() uint64 { return p.branches }
 // estimated from the last branch time stamp).
 func (p *Profiler) SetInstructions(n uint64) { p.instructions = n }
 
+// distinctPairs counts the exact number of distinct unordered pairs
+// across the per-branch neighbor counters. One pair (a,b) may be stored
+// in a's counter, in b's, or in both; summing the per-counter sizes
+// would double-count the shared ones and over-allocate the extraction
+// table ~2x. A pair is counted from the smaller id's counter when
+// present there, and from the larger id's counter only otherwise.
+func (p *Profiler) distinctPairs() int {
+	distinct := 0
+	for id := range p.nbrs {
+		a := int32(id)
+		p.nbrs[id].each(func(b int32, _ uint32) {
+			if b > a || !p.nbrs[b].has(a) {
+				distinct++
+			}
+		})
+	}
+	return distinct
+}
+
 // Profile extracts the accumulated profile. The Profiler remains usable;
 // further events continue accumulating on top.
+//
+// The returned profile's pair table comes from the package pool
+// (exactly sized, so extraction never rehashes); callers done with a
+// transient profile can hand the table back via Profile.Release.
 func (p *Profiler) Profile() *Profile {
-	distinct := 0
-	for i := range p.nbrs {
-		distinct += p.nbrs[i].n
-	}
-	pairs := NewPairCounts(distinct) // upper bound; halves merge below
+	pairs := GetPairCounts(p.distinctPairs())
 	for id := range p.nbrs {
 		a := int32(id)
 		p.nbrs[id].each(func(b int32, count uint32) {

@@ -1,0 +1,124 @@
+package trace
+
+// This file holds the streaming (fused single-pass) counterparts of the
+// recorded-trace operations: a frequency pre-counter that computes the
+// per-branch statistics FilterByCoverage needs without retaining events,
+// a keep-set filter sink that narrows a live stream to the analyzed
+// branches, and a bounded ring that retains only the tail of a stream
+// for trace dumps. Together they let a run fan out through vm.MultiSink
+// to the profiler and predictor sims with no full-trace residency.
+
+import "sort"
+
+// Sink is the structural branch-event consumer interface (the shape of
+// vm.BranchSink, declared here so the trace package stays free of a vm
+// dependency).
+type Sink interface {
+	Branch(pc uint64, taken bool, icount uint64)
+}
+
+// FreqCounter accumulates per-static-branch execution counts from a
+// live stream — the frequency pre-count pass of fused execution. Its
+// memory is O(static branches), against O(dynamic branches) for a
+// recorded trace. The zero value is ready to use.
+type FreqCounter struct {
+	counts map[uint64]*BranchStat
+}
+
+// Branch consumes one event.
+func (f *FreqCounter) Branch(pc uint64, taken bool, icount uint64) {
+	if f.counts == nil {
+		f.counts = make(map[uint64]*BranchStat)
+	}
+	s := f.counts[pc]
+	if s == nil {
+		s = &BranchStat{PC: pc}
+		f.counts[pc] = s
+	}
+	s.Count++
+	if taken {
+		s.Taken++
+	}
+}
+
+// Stats returns the accumulated per-branch statistics in the same order
+// Trace.Stats produces: descending dynamic count, ties by PC.
+func (f *FreqCounter) Stats() []BranchStat {
+	out := make([]BranchStat, 0, len(f.counts))
+	for _, s := range f.counts {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Total returns the dynamic and static branch counts seen so far.
+func (f *FreqCounter) Total() (dynamic uint64, static int) {
+	for _, s := range f.counts {
+		dynamic += s.Count
+	}
+	return dynamic, len(f.counts)
+}
+
+// FilterSink forwards only events of branches in Keep to Sink — the
+// streaming form of FilterResult.Kept.Replay. Feeding a live run
+// through a FilterSink whose keep set came from SelectByCoverage
+// delivers exactly the event subsequence a recorded filter would, so
+// fused and record-then-replay profiling agree event for event.
+type FilterSink struct {
+	Keep map[uint64]struct{}
+	Sink Sink
+}
+
+// Branch forwards the event if its branch is retained.
+func (f FilterSink) Branch(pc uint64, taken bool, icount uint64) {
+	if _, ok := f.Keep[pc]; ok {
+		f.Sink.Branch(pc, taken, icount)
+	}
+}
+
+// Ring retains the most recent events of a stream in a fixed-size
+// buffer. It is the fused-mode answer to trace dumps: where the
+// recording path can save a full trace, a streaming run attaches a Ring
+// and keeps only the bounded tail (e.g. for branchsim's -tail output).
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring retaining the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Branch records one event, evicting the oldest once full.
+func (r *Ring) Branch(pc uint64, taken bool, icount uint64) {
+	e := Event{PC: pc, ICount: icount, Taken: taken}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns the number of events seen (retained or evicted).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Tail returns the retained events, oldest first.
+func (r *Ring) Tail() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

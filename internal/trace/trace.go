@@ -47,6 +47,18 @@ func NewRecorder(benchmark, inputSet string) *Recorder {
 	return &Recorder{trace: Trace{Benchmark: benchmark, InputSet: inputSet}}
 }
 
+// Reserve pre-sizes the event buffer for an expected dynamic-branch
+// count, eliminating append regrowth over the run. Workload specs know
+// their schedule length, so the recording path can reserve exactly.
+func (r *Recorder) Reserve(events int) {
+	if events <= 0 || events <= cap(r.trace.Events) {
+		return
+	}
+	grown := make([]Event, len(r.trace.Events), events)
+	copy(grown, r.trace.Events)
+	r.trace.Events = grown
+}
+
 // Branch records one event.
 func (r *Recorder) Branch(pc uint64, taken bool, icount uint64) {
 	r.trace.Events = append(r.trace.Events, Event{PC: pc, ICount: icount, Taken: taken})
@@ -141,21 +153,34 @@ func (f FilterResult) Coverage() float64 {
 // analysis time and space reasonable (Section 3, Table 1).
 func (t *Trace) FilterByCoverage(coverage float64) FilterResult {
 	stats := t.Stats()
+	keep, _ := SelectByCoverage(stats, coverage)
+	var total uint64
+	for _, s := range stats {
+		total += s.Count
+	}
+	return t.filterTo(keep, len(stats), total)
+}
+
+// SelectByCoverage picks the static branches FilterByCoverage would
+// retain from frequency-ordered statistics (as Stats and FreqCounter
+// produce them) and returns the keep set with its covered dynamic
+// count. It is the selection step alone, shared by the recorded-trace
+// filter and the fused streaming path, which must agree exactly.
+func SelectByCoverage(stats []BranchStat, coverage float64) (keep map[uint64]struct{}, dynKept uint64) {
 	var total uint64
 	for _, s := range stats {
 		total += s.Count
 	}
 	target := uint64(coverage * float64(total))
-	keep := make(map[uint64]struct{}, len(stats))
-	var kept uint64
+	keep = make(map[uint64]struct{}, len(stats))
 	for _, s := range stats {
-		if kept >= target && len(keep) > 0 {
+		if dynKept >= target && len(keep) > 0 {
 			break
 		}
 		keep[s.PC] = struct{}{}
-		kept += s.Count
+		dynKept += s.Count
 	}
-	return t.filterTo(keep, len(stats), total)
+	return keep, dynKept
 }
 
 // FilterTopN retains the N most frequently executed static branches.

@@ -26,10 +26,17 @@ func (c RunConfig) input() InputSet {
 	return c.Input
 }
 
-// Run executes the benchmark and records its branch trace.
+// Run executes the benchmark and records its branch trace. The
+// recorder's event buffer is pre-sized from the spec's expected
+// dynamic-branch count, so recording does not regrow it.
 func (s Spec) Run(cfg RunConfig) (*trace.Trace, vm.Stats, error) {
 	input := cfg.input()
 	rec := trace.NewRecorder(s.Name, input.Name)
+	expected := s.DynamicBranches(cfg.Scale)
+	if cfg.MaxInstructions != 0 && expected > cfg.MaxInstructions {
+		expected = cfg.MaxInstructions // branches cannot outnumber instructions
+	}
+	rec.Reserve(int(expected))
 	stats, err := s.RunInto(cfg, rec)
 	if err != nil {
 		return nil, stats, err

@@ -452,3 +452,39 @@ func TestEveryBenchmarkRunsAtTinyScale(t *testing.T) {
 		}
 	}
 }
+
+// TestRunReservesEventBuffer checks the recording path pre-sizes its
+// event buffer from the spec's estimate: when the estimate covers the
+// actual dynamic branch count (the estimate test above bounds the gap
+// at 2%), the buffer must never have regrown past the reservation.
+func TestRunReservesEventBuffer(t *testing.T) {
+	s := small()
+	tr, stats, err := s.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := int(s.DynamicBranches(1.0))
+	if uint64(len(tr.Events)) != stats.CondBranches {
+		t.Fatalf("trace has %d events, stats report %d", len(tr.Events), stats.CondBranches)
+	}
+	if len(tr.Events) <= est && cap(tr.Events) != est {
+		t.Fatalf("buffer cap %d != reserved estimate %d (regrew or never reserved)", cap(tr.Events), est)
+	}
+}
+
+// TestRunReserveClampedByMaxInstructions checks the reservation never
+// exceeds a truncated run's instruction cap.
+func TestRunReserveClampedByMaxInstructions(t *testing.T) {
+	s := small()
+	const maxInstr = 500
+	tr, stats, err := s.Run(RunConfig{MaxInstructions: maxInstr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions > maxInstr {
+		t.Fatalf("run retired %d instructions past the cap", stats.Instructions)
+	}
+	if cap(tr.Events) > 2*maxInstr {
+		t.Fatalf("buffer cap %d ignores the %d-instruction cap", cap(tr.Events), maxInstr)
+	}
+}
