@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	os.Stdout = old
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (regenerate with -update if intended)\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// TestGoldenAllocate locks down the default allocation report for a
+// small li run, and proves the -shards flag does not change a byte of
+// it.
+func TestGoldenAllocate(t *testing.T) {
+	for _, shards := range []int{1, 2, 7} {
+		out := captureStdout(t, func() error {
+			return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, shards, false, "")
+		})
+		checkGolden(t, "li_alloc.golden", out)
+	}
+}
+
+// TestGoldenAllocateCheck covers -check on a healthy allocation.
+func TestGoldenAllocateCheck(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 2, true, "")
+	})
+	checkGolden(t, "li_alloc_check.golden", out)
+}
+
+// TestGoldenAllocateClassify covers the Section 5.2 classification path.
+func TestGoldenAllocateClassify(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("li", "ref", 0.05, 64, true, false, 1024, 100, 0, 1, false, "")
+	})
+	checkGolden(t, "li_alloc_classify.golden", out)
+}
+
+// TestGoldenAllocateMergedInputs covers the cumulative-profile path
+// (Section 5.2): two input sets profiled and merged before allocation.
+func TestGoldenAllocateMergedInputs(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("li", "ref,a", 0.05, 64, false, false, 1024, 100, 0, 3, false, "")
+	})
+	checkGolden(t, "li_alloc_merged.golden", out)
+}
+
+// TestCorruptFailsCheck is the negative control for the allocate -check
+// path.
+func TestCorruptFailsCheck(t *testing.T) {
+	for _, target := range []string{"graph", "alloc"} {
+		old := os.Stdout
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = devnull
+		err = run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 1, true, target)
+		os.Stdout = old
+		if cerr := devnull.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err == nil {
+			t.Errorf("-corrupt %s: check unexpectedly passed", target)
+		}
+	}
+}

@@ -1,14 +1,16 @@
 // Command bench measures the experiment harness and emits a
-// machine-readable benchmark report (default BENCH_2.json) for
+// machine-readable benchmark report (default BENCH_3.json) for
 // regression tracking: per-experiment ns/op, allocs/op, bytes/op and
-// approximate branch-stream throughput in Mbranches/s, plus a suite
-// section comparing serial record-then-replay against the parallel
-// fused pipeline (wall clock and retained trace memory).
+// approximate branch-stream throughput in Mbranches/s, a suite section
+// comparing serial record-then-replay against the parallel fused
+// pipeline (wall clock and retained trace memory), and a sharding
+// section comparing the intra-benchmark hot paths at shards=1 vs
+// shards=N (wall clock, shard-table memory).
 //
 // Usage:
 //
-//	bench [-scale 0.1] [-workers 8] [-o BENCH_2.json]
-//	      [-baseline BENCH_2.json] [-tolerance 0.25] [-update]
+//	bench [-scale 0.1] [-workers 8] [-shards n] [-o BENCH_3.json]
+//	      [-baseline BENCH_3.json] [-tolerance 0.25] [-update]
 //
 // With -baseline it compares each experiment's ns/op against the
 // committed baseline and exits nonzero on a regression beyond the
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/profile"
 	"repro/internal/workload"
 )
 
@@ -50,26 +53,53 @@ type SuiteComparison struct {
 	FusedTraceBytes  uint64  `json:"fused_trace_bytes"`
 }
 
-// Report is the BENCH_2.json schema.
+// ShardingComparison contrasts the intra-benchmark serial hot paths
+// (shards=1, the exact pre-sharding code) against the sharded pipeline
+// (shards=N): once over a full suite run, and once as a direct profile
+// pass on one benchmark, where the shard tables' memory cost and the
+// merged pair count are also recorded. Output is byte-identical either
+// way; only time and memory differ.
+type ShardingComparison struct {
+	Shards           int     `json:"shards"`
+	SuiteShards1Ns   int64   `json:"suite_shards1_ns"`
+	SuiteShardedNs   int64   `json:"suite_sharded_ns"`
+	SuiteSpeedup     float64 `json:"suite_speedup"`
+	ProfileBenchmark string  `json:"profile_benchmark"`
+	ProfileShards1Ns int64   `json:"profile_shards1_ns"`
+	ProfileShardedNs int64   `json:"profile_sharded_ns"`
+	ProfileSpeedup   float64 `json:"profile_speedup"`
+	ShardTableBytes  uint64  `json:"shard_table_bytes"`
+	MergedPairs      int     `json:"merged_pairs"`
+}
+
+// Report is the BENCH_3.json schema.
 type Report struct {
 	Scale       float64            `json:"scale"`
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	Experiments []ExperimentResult `json:"experiments"`
 	Suite       SuiteComparison    `json:"suite"`
+	Sharding    ShardingComparison `json:"sharding"`
 }
 
 func main() {
 	var (
 		scale     = flag.Float64("scale", 0.1, "workload scale factor for the benchmarks")
 		workers   = flag.Int("workers", 8, "worker count for the parallel fused comparison")
-		out       = flag.String("o", "BENCH_2.json", "write the benchmark report here")
+		shards    = flag.Int("shards", 0, "shard count for the sharding comparison (0 = GOMAXPROCS, floored at 2 so the comparison is real)")
+		out       = flag.String("o", "BENCH_3.json", "write the benchmark report here")
 		baseline  = flag.String("baseline", "", "compare against this baseline report")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
 		update    = flag.Bool("update", false, "overwrite the baseline with this run's report")
 	)
 	flag.Parse()
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	if *shards < 2 {
+		*shards = 2
+	}
 
-	rep, err := measure(*scale, *workers)
+	rep, err := measure(*scale, *workers, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -135,7 +165,7 @@ func discardFigure(s *harness.Suite, n int) error {
 	return harness.RunFigure(s, io.Discard, n, false)
 }
 
-func measure(scale float64, workers int) (*Report, error) {
+func measure(scale float64, workers, shards int) (*Report, error) {
 	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	for _, e := range experiments() {
@@ -183,7 +213,91 @@ func measure(scale float64, workers int) (*Report, error) {
 	fmt.Printf("suite    serial/record %v, parallel(%d)/fused %v: %.2fx, trace bytes %d -> %d\n",
 		time.Duration(suite.SerialRecordNs), suite.Workers, time.Duration(suite.ParallelFusedNs),
 		suite.Speedup, suite.RecordTraceBytes, suite.FusedTraceBytes)
+
+	sharding, err := compareSharding(scale, shards)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sharding = *sharding
+	fmt.Printf("sharding suite shards=1 %v vs shards=%d %v: %.2fx; profile %s %v vs %v: %.2fx, shard tables %d B, %d pairs\n",
+		time.Duration(sharding.SuiteShards1Ns), sharding.Shards, time.Duration(sharding.SuiteShardedNs), sharding.SuiteSpeedup,
+		sharding.ProfileBenchmark, time.Duration(sharding.ProfileShards1Ns), time.Duration(sharding.ProfileShardedNs),
+		sharding.ProfileSpeedup, sharding.ShardTableBytes, sharding.MergedPairs)
 	return rep, nil
+}
+
+// compareSharding measures the intra-benchmark hot paths at shards=1 vs
+// shards=N: the full table+figure composition (fused, one benchmark
+// worker, so only intra-benchmark parallelism differs), and a direct
+// unfiltered profile pass over the heaviest benchmark's branch stream,
+// where the shard tables' memory cost is also read.
+func compareSharding(scale float64, shards int) (*ShardingComparison, error) {
+	runSuite := func(profileShards int) (time.Duration, error) {
+		s := harness.NewSuite(harness.Config{
+			Scale: scale, Workers: 1, Fused: true, ProfileShards: profileShards,
+		})
+		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
+		if err := harness.RunAll(s, io.Discard, false); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil //reprolint:allow entropy benchmark wall-clock measurement
+	}
+	suite1, err := runSuite(1)
+	if err != nil {
+		return nil, err
+	}
+	suiteN, err := runSuite(shards)
+	if err != nil {
+		return nil, err
+	}
+
+	const profileBench = "gcc" // largest static branch set in the suite
+	spec, err := workload.ByName(profileBench)
+	if err != nil {
+		return nil, err
+	}
+	runCfg := workload.RunConfig{Input: workload.InputRef, Scale: scale}
+	runProfile := func(profileShards int) (time.Duration, *profile.Profiler, error) {
+		prof := profile.NewProfiler(profileBench, workload.InputRef.Name,
+			profile.WithShards(profileShards))
+		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
+		if _, err := spec.RunInto(runCfg, prof); err != nil {
+			return 0, nil, err
+		}
+		p := prof.Profile()
+		elapsed := time.Since(start) //reprolint:allow entropy benchmark wall-clock measurement
+		p.Release()
+		return elapsed, prof, nil
+	}
+	prof1, _, err := runProfile(1)
+	if err != nil {
+		return nil, err
+	}
+	profN, shardedProf, err := runProfile(shards)
+	if err != nil {
+		return nil, err
+	}
+	merged := shardedProf.Profile()
+	pairs := merged.Pairs.Len()
+	merged.Release()
+
+	c := &ShardingComparison{
+		Shards:           shards,
+		SuiteShards1Ns:   suite1.Nanoseconds(),
+		SuiteShardedNs:   suiteN.Nanoseconds(),
+		ProfileBenchmark: profileBench,
+		ProfileShards1Ns: prof1.Nanoseconds(),
+		ProfileShardedNs: profN.Nanoseconds(),
+		ShardTableBytes:  shardedProf.ShardTableBytes(),
+		MergedPairs:      pairs,
+	}
+	if suiteN > 0 {
+		c.SuiteSpeedup = float64(suite1) / float64(suiteN)
+	}
+	if profN > 0 {
+		c.ProfileSpeedup = float64(prof1) / float64(profN)
+	}
+	return c, nil
 }
 
 // streamBranches estimates the branch events that flowed through the

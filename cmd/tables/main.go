@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tables [-scale f] [-table n] [-figure n] [-markdown] [-quiet]
-//	       [-workers n] [-fused] [-cpuprofile f] [-memprofile f]
+//	       [-workers n] [-shards n] [-fused] [-cpuprofile f] [-memprofile f]
 //
 // Without -table/-figure it runs everything. -markdown emits
 // GitHub-style tables suitable for EXPERIMENTS.md. Benchmarks run
@@ -38,6 +38,7 @@ func main() {
 		extras     = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
 		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
 		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
+		shards     = flag.Int("shards", 0, "intra-benchmark pair-count shards and clique-mining workers (0 = GOMAXPROCS, 1 = serial)")
 		fused      = flag.Bool("fused", true, "stream branch events straight into the analyses instead of recording full traces")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -67,12 +68,13 @@ func main() {
 		progress = nil
 	}
 	suite := harness.NewSuite(harness.Config{
-		Scale:        *scale,
-		CliqueBudget: *budget,
-		Check:        *check,
-		Workers:      *workers,
-		Fused:        *fused,
-		Progress:     progress,
+		Scale:         *scale,
+		CliqueBudget:  *budget,
+		Check:         *check,
+		Workers:       *workers,
+		ProfileShards: *shards,
+		Fused:         *fused,
+		Progress:      progress,
 	})
 
 	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	wsanalyze -bench gcc [-input ref] [-scale f] [-threshold n]
-//	          [-window n] [-definition cliques|partition] [-top n]
-//	          [-cpuprofile f] [-memprofile f]
+//	          [-window n] [-shards n] [-definition cliques|partition]
+//	          [-top n] [-cpuprofile f] [-memprofile f]
 //	wsanalyze -trace file.bwt [-threshold n] ...
 //	wsanalyze -program file.s [-input ref] ...
 //
@@ -39,6 +39,7 @@ func main() {
 		save        = flag.String("save", "", "save the recorded trace to this file")
 		threshold   = flag.Uint64("threshold", core.DefaultThreshold, "conflict edge pruning threshold")
 		window      = flag.Int("window", 0, "interleave scan window (0 = exact/unbounded)")
+		shards      = flag.Int("shards", 0, "pair-count shards and clique-mining workers (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 		definition  = flag.String("definition", "cliques", "working-set definition: cliques or partition")
 		top         = flag.Int("top", 5, "print the N largest working sets")
 		coverage    = flag.Float64("coverage", 0, "frequency-filter coverage (0 = the spec's default)")
@@ -78,7 +79,7 @@ func main() {
 		}()
 	}
 
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *definition, *top, *coverage, *check, *corrupt); err != nil {
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -190,7 +191,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	return tr, coverage, nil
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window int, definition string, top int, coverage float64, check bool, corrupt string) error {
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string) error {
 	var def core.SetDefinition
 	switch definition {
 	case "cliques":
@@ -212,7 +213,10 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	fmt.Printf("analyzed: %d dynamic (%.2f%%), %d static\n",
 		filter.DynamicKept, 100*filter.Coverage(), filter.StaticKept)
 
-	var opts []profile.Option
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	opts := []profile.Option{profile.WithShards(shards)}
 	if window > 0 {
 		opts = append(opts, profile.WithWindow(window))
 		fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
@@ -224,6 +228,7 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	res, err := core.Analyze(prof.Profile(), core.AnalysisConfig{
 		Threshold:  threshold,
 		Definition: def,
+		Workers:    shards,
 	})
 	if err != nil {
 		return err

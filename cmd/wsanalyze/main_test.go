@@ -1,0 +1,134 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed. The CLIs print straight to stdout, so
+// golden tests hook the file descriptor rather than threading a writer
+// through every print site.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	os.Stdout = old
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+// checkGolden compares got against the committed golden file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (regenerate with -update if intended)\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// TestGoldenProgram locks down the full wsanalyze report for the
+// fixture program: trace header, conflict graph summary, working-set
+// statistics, and top sets.
+func TestGoldenProgram(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "")
+	})
+	checkGolden(t, "program.golden", out)
+}
+
+// TestGoldenProgramSharded proves the user-facing determinism claim of
+// the -shards flag: several shard counts must reproduce the serial
+// golden byte for byte.
+func TestGoldenProgramSharded(t *testing.T) {
+	for _, shards := range []int{2, 3, 7} {
+		out := captureStdout(t, func() error {
+			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "")
+		})
+		checkGolden(t, "program.golden", out)
+	}
+}
+
+// TestGoldenProgramCheck covers the -check path: the verifier line must
+// appear before the report, and verification must pass on a healthy
+// artifact.
+func TestGoldenProgramCheck(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "")
+	})
+	checkGolden(t, "program_check.golden", out)
+}
+
+// TestGoldenProgramPartition covers the alternative working-set
+// definition (-definition partition).
+func TestGoldenProgramPartition(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "")
+	})
+	checkGolden(t, "program_partition.golden", out)
+}
+
+// TestGoldenBench locks down the built-in-benchmark path at a small
+// scale, shards forced serial and sharded in turn.
+func TestGoldenBench(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		out := captureStdout(t, func() error {
+			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "")
+		})
+		checkGolden(t, "bench_li.golden", out)
+	}
+}
+
+// TestCorruptFailsCheck is the negative control: a seeded corruption
+// must make -check exit with an error.
+func TestCorruptFailsCheck(t *testing.T) {
+	for _, target := range []string{"graph", "sets"} {
+		old := os.Stdout
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = devnull
+		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target)
+		os.Stdout = old
+		if cerr := devnull.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err == nil {
+			t.Errorf("-corrupt %s: check unexpectedly passed", target)
+		}
+	}
+}

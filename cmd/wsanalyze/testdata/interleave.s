@@ -1,0 +1,30 @@
+; Golden-test fixture: a loop whose body holds several data-dependent
+; conditional branches. Every iteration executes all of them, so each
+; pair interleaves once per iteration and the conflict graph at a
+; threshold below the trip count is a dense working set -- small enough
+; to eyeball, rich enough to exercise graph, cliques, and allocation.
+.name interleave
+.mem 64
+	addi r1, zero, 200      ; trip count
+loop:
+	rand r2
+	shri r2, r2, 58         ; r2 in [0, 63]
+	andi r3, r2, 1
+	beq r3, zero, skip1     ; branch A: bit 0
+	addi r4, r4, 1
+skip1:
+	andi r3, r2, 2
+	beq r3, zero, skip2     ; branch B: bit 1
+	addi r5, r5, 1
+skip2:
+	andi r3, r2, 4
+	beq r3, zero, skip3     ; branch C: bit 2
+	addi r6, r6, 1
+skip3:
+	slti r3, r2, 32
+	bne r3, zero, skip4     ; branch D: magnitude
+	addi r7, r7, 1
+skip4:
+	addi r1, r1, -1
+	bne r1, zero, loop      ; branch E: loop back-edge
+	halt

@@ -16,8 +16,10 @@ import (
 // CorruptGraph adds a sub-threshold edge between the first two nodes
 // with no existing edge, violating the pruning invariant.
 func CorruptGraph(g *graph.Graph, threshold uint64) (string, error) {
-	if threshold == 0 {
-		return "", fmt.Errorf("analysis: cannot corrupt below threshold 0")
+	if threshold <= 1 {
+		// AddEdge discards zero-weight edges, so there is no representable
+		// sub-threshold edge below threshold 1.
+		return "", fmt.Errorf("analysis: cannot corrupt below threshold %d", threshold)
 	}
 	for u := 0; u < g.N(); u++ {
 		for v := u + 1; v < g.N(); v++ {

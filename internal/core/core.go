@@ -70,6 +70,11 @@ type AnalysisConfig struct {
 	// sets. The paper's statistics concern interacting branches, so the
 	// default (false) excludes them; the number excluded is reported.
 	IncludeSingletons bool
+	// Workers splits maximal-clique enumeration across a worker pool
+	// (top-level Bron-Kerbosch subtrees); <= 1 enumerates serially. The
+	// extracted sets are identical for any value — results merge through
+	// a canonical sort (see graph.MaximalCliquesParallel).
+	Workers int
 }
 
 // WorkingSet is one extracted set of interacting branches.
@@ -165,7 +170,7 @@ func Analyze(p *profile.Profile, cfg AnalysisConfig) (*AnalysisResult, error) {
 	truncated := false
 	switch cfg.Definition {
 	case MaximalCliques:
-		res := g.MaximalCliques(cfg.CliqueBudget, cfg.IncludeSingletons)
+		res := g.MaximalCliquesParallel(cfg.CliqueBudget, cfg.IncludeSingletons, cfg.Workers)
 		cliques, truncated = res.Cliques, res.Truncated
 	case GreedyPartition:
 		cliques = g.GreedyCliquePartition(cfg.IncludeSingletons)
@@ -181,15 +186,20 @@ func Analyze(p *profile.Profile, cfg AnalysisConfig) (*AnalysisResult, error) {
 		}
 		sets = append(sets, WorkingSet{Branches: c, ExecWeight: w})
 	}
-	// Deterministic order: largest first, then by first member.
+	// Deterministic order: largest first, ties broken by full member
+	// comparison — a total order over distinct sets, so the ordering is
+	// independent of enumeration (and worker) order.
 	sort.Slice(sets, func(i, j int) bool {
-		if len(sets[i].Branches) != len(sets[j].Branches) {
-			return len(sets[i].Branches) > len(sets[j].Branches)
+		a, b := sets[i].Branches, sets[j].Branches
+		if len(a) != len(b) {
+			return len(a) > len(b)
 		}
-		if len(sets[i].Branches) == 0 {
-			return false
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
 		}
-		return sets[i].Branches[0] < sets[j].Branches[0]
+		return false
 	})
 
 	return &AnalysisResult{

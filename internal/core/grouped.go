@@ -116,7 +116,7 @@ func AnalyzeGrouped(p *profile.Profile, cfg AnalysisConfig, th classify.Threshol
 	truncated := false
 	switch cfg.Definition {
 	case MaximalCliques:
-		res := g.MaximalCliques(cfg.CliqueBudget, cfg.IncludeSingletons)
+		res := g.MaximalCliquesParallel(cfg.CliqueBudget, cfg.IncludeSingletons, cfg.Workers)
 		cliques, truncated = res.Cliques, res.Truncated
 	case GreedyPartition:
 		cliques = g.GreedyCliquePartition(cfg.IncludeSingletons)

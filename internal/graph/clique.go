@@ -1,10 +1,17 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // CliqueResult holds the outcome of working-set extraction.
 type CliqueResult struct {
-	// Cliques are the extracted node sets, each sorted ascending.
+	// Cliques are the extracted node sets, each sorted ascending, and
+	// the whole list in lexicographic order — a canonical order shared
+	// by the serial and parallel enumerators, so downstream output never
+	// depends on traversal or scheduling.
 	Cliques [][]int32
 	// Truncated is true if the enumeration budget was exhausted before
 	// all maximal cliques were produced. Callers must surface this —
@@ -31,31 +38,72 @@ const DefaultCliqueBudget = 5_000_000
 // budget caps the total number of recursion steps; <= 0 selects
 // DefaultCliqueBudget.
 func (g *Graph) MaximalCliques(budget int, includeSingletons bool) CliqueResult {
+	return g.MaximalCliquesParallel(budget, includeSingletons, 1)
+}
+
+// MaximalCliquesParallel is MaximalCliques with the enumeration split
+// across up to workers goroutines. The split happens at the root of the
+// Bron-Kerbosch recursion: the top-level pivot's candidate branches are
+// materialized as independent subtasks (each with its own candidate and
+// exclusion snapshot) and farmed out to a worker pool sharing one atomic
+// step budget. Subtask results are merged through the same canonical
+// sort the serial path uses, so the output is byte-identical for any
+// worker count whenever the budget is not exhausted. Under exhaustion
+// both modes report Truncated, but the enumerated subset may differ —
+// truncated counts are lower bounds either way.
+//
+// workers <= 1 runs the exact serial enumeration.
+func (g *Graph) MaximalCliquesParallel(budget int, includeSingletons bool, workers int) CliqueResult {
 	if budget <= 0 {
 		budget = DefaultCliqueBudget
 	}
-	e := &cliqueEnum{budget: budget}
-
-	// Enumerate per connected component: each component gets a dense
-	// local id space and a bitset adjacency matrix, making the
-	// Bron-Kerbosch set operations word-parallel.
-	for _, comp := range g.Components() {
-		if len(comp) == 1 {
-			if includeSingletons {
-				e.out = append(e.out, []int32{comp[0]})
+	comps := g.Components()
+	var res CliqueResult
+	if workers <= 1 {
+		e := &cliqueEnum{budget: budget}
+		for _, comp := range comps {
+			if len(comp) == 1 {
+				if includeSingletons {
+					e.out = append(e.out, []int32{comp[0]})
+				}
+				continue
 			}
-			continue
+			e.runComponent(g, comp)
+			if e.exhausted {
+				break
+			}
 		}
-		e.runComponent(g, comp)
-		if e.exhausted {
-			break
+		res = CliqueResult{Cliques: e.out, Truncated: e.exhausted}
+	} else {
+		res = g.parallelCliques(budget, includeSingletons, workers, comps)
+	}
+	sortCliques(res.Cliques)
+	return res
+}
+
+// sortCliques orders cliques lexicographically by members. Distinct
+// sorted sets never compare equal, so this is a strict total order: any
+// enumeration order sorts to the same sequence.
+func sortCliques(cs [][]int32) {
+	sort.Slice(cs, func(i, j int) bool { return lessInt32s(cs[i], cs[j]) })
+}
+
+func lessInt32s(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
 		}
 	}
-	return CliqueResult{Cliques: e.out, Truncated: e.exhausted}
+	return len(a) < len(b)
 }
 
 type cliqueEnum struct {
 	budget    int
+	shared    *atomic.Int64 // non-nil in parallel mode: pooled step budget
 	exhausted bool
 	out       [][]int32
 
@@ -64,21 +112,49 @@ type cliqueEnum struct {
 	adj    []bitset // local adjacency rows
 }
 
-func (e *cliqueEnum) runComponent(g *Graph, comp []int32) {
+// take consumes one enumeration step from the budget, reporting whether
+// the caller may proceed.
+func (e *cliqueEnum) take() bool {
+	if e.shared != nil {
+		if e.shared.Add(-1) < 0 {
+			e.exhausted = true
+			return false
+		}
+		return true
+	}
+	if e.budget <= 0 {
+		e.exhausted = true
+		return false
+	}
+	e.budget--
+	return true
+}
+
+// componentCtx builds the dense local id space and bitset adjacency
+// matrix for one connected component, making the Bron-Kerbosch set
+// operations word-parallel. The rows are read-only during enumeration,
+// so parallel subtasks share them safely.
+func componentCtx(g *Graph, comp []int32) (adj []bitset) {
 	m := len(comp)
 	local := make(map[int32]int32, m)
-	e.global = comp
 	for i, u := range comp {
 		local[u] = int32(i)
 	}
-	e.adj = make([]bitset, m)
+	adj = make([]bitset, m)
 	for i, u := range comp {
 		row := newBitset(m)
 		g.Neighbors(u, func(v int32, _ uint64) {
 			row.set(local[v])
 		})
-		e.adj[i] = row
+		adj[i] = row
 	}
+	return adj
+}
+
+func (e *cliqueEnum) runComponent(g *Graph, comp []int32) {
+	m := len(comp)
+	e.global = comp
+	e.adj = componentCtx(g, comp)
 	p := newBitset(m)
 	for i := 0; i < m; i++ {
 		p.set(int32(i))
@@ -89,11 +165,9 @@ func (e *cliqueEnum) runComponent(g *Graph, comp []int32) {
 // expand is Bron-Kerbosch with pivoting over bitsets: r is the growing
 // clique (local ids), p the candidates, x the excluded set.
 func (e *cliqueEnum) expand(r []int32, p, x bitset) {
-	if e.budget <= 0 {
-		e.exhausted = true
+	if !e.take() {
 		return
 	}
-	e.budget--
 	if p.empty() && x.empty() {
 		clique := make([]int32, len(r))
 		for i, v := range r {
@@ -105,17 +179,7 @@ func (e *cliqueEnum) expand(r []int32, p, x bitset) {
 	}
 	// Pivot: the vertex of p ∪ x with the most neighbors in p; only
 	// candidates outside the pivot's neighborhood are expanded.
-	pivot := int32(-1)
-	bestCount := -1
-	consider := func(u int32) bool {
-		if c := intersectionCount(p, e.adj[u]); c > bestCount {
-			bestCount = c
-			pivot = u
-		}
-		return true
-	}
-	p.forEach(consider)
-	x.forEach(consider)
+	pivot, _ := pivotOf(p, x, e.adj)
 
 	cands := newBitset(len(p) * 64)
 	cands.andNot(p, e.adj[pivot])
@@ -133,6 +197,110 @@ func (e *cliqueEnum) expand(r []int32, p, x bitset) {
 		x.set(v)
 		return true
 	})
+}
+
+// pivotOf returns the vertex of p ∪ x with the most neighbors in p.
+func pivotOf(p, x bitset, adj []bitset) (pivot int32, count int) {
+	pivot, count = -1, -1
+	consider := func(u int32) bool {
+		if c := intersectionCount(p, adj[u]); c > count {
+			count = c
+			pivot = u
+		}
+		return true
+	}
+	p.forEach(consider)
+	x.forEach(consider)
+	return pivot, count
+}
+
+// cliqueTask is one root-level Bron-Kerbosch subtree: a candidate branch
+// of the top-level pivot with its candidate/exclusion snapshots. Tasks
+// are independent — their bitsets are private copies and the shared adj
+// rows are read-only.
+type cliqueTask struct {
+	global []int32
+	adj    []bitset
+	r      []int32
+	p, x   bitset
+}
+
+// parallelCliques splits enumeration at the top-level pivot branches of
+// every component and runs the subtrees on a worker pool. The subtask
+// snapshots are derived sequentially in the same candidate order the
+// serial code iterates, so together they cover exactly the serial
+// recursion's root branches.
+func (g *Graph) parallelCliques(budget int, includeSingletons bool, workers int, comps [][]int32) CliqueResult {
+	shared := new(atomic.Int64)
+	shared.Store(int64(budget))
+
+	var out [][]int32
+	var tasks []cliqueTask
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			if includeSingletons {
+				out = append(out, []int32{comp[0]})
+			}
+			continue
+		}
+		m := len(comp)
+		adj := componentCtx(g, comp)
+		p := newBitset(m)
+		for i := 0; i < m; i++ {
+			p.set(int32(i))
+		}
+		x := newBitset(m)
+		// One budget step per component root, mirroring the serial root
+		// expand call.
+		shared.Add(-1)
+		pivot, _ := pivotOf(p, x, adj)
+		cands := newBitset(m)
+		cands.andNot(p, adj[pivot])
+		scratch := newBitset(m)
+		cands.forEach(func(v int32) bool {
+			scratch.intersect(p, adj[v])
+			newP := scratch.clone()
+			scratch.intersect(x, adj[v])
+			newX := scratch.clone()
+			tasks = append(tasks, cliqueTask{comp, adj, []int32{v}, newP, newX})
+			p.clear(v)
+			x.set(v)
+			return true
+		})
+	}
+
+	outs := make([][][]int32, len(tasks))
+	var exhausted atomic.Bool
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				e := &cliqueEnum{shared: shared, global: t.global, adj: t.adj}
+				e.expand(t.r, t.p, t.x)
+				outs[i] = e.out
+				if e.exhausted {
+					exhausted.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return CliqueResult{Cliques: out, Truncated: exhausted.Load()}
 }
 
 // GreedyCliquePartition partitions the nodes of g into disjoint cliques:

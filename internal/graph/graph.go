@@ -26,13 +26,37 @@ func New(n int) *Graph {
 	return g
 }
 
+// Pair is one weighted undirected edge input to FromPairs.
+type Pair struct {
+	U, V int32
+	W    uint64
+}
+
+// FromPairs builds a graph over n nodes from a weighted pair list,
+// accumulating duplicates. Self-loops and pairs with an endpoint outside
+// [0, n) are ignored, matching AddEdge's self-loop rule; the pair list
+// is arbitrary untrusted input (fuzzers feed it directly).
+func FromPairs(n int, pairs []Pair) *Graph {
+	g := New(n)
+	for _, p := range pairs {
+		if p.U < 0 || p.V < 0 || int(p.U) >= n || int(p.V) >= n {
+			continue
+		}
+		g.AddEdge(p.U, p.V, p.W)
+	}
+	return g
+}
+
 // N returns the node count.
 func (g *Graph) N() int { return len(g.adj) }
 
 // AddEdge accumulates weight w onto the undirected edge {u, v}.
-// Self-loops are ignored: a branch does not conflict with itself.
+// Self-loops are ignored: a branch does not conflict with itself. Zero
+// weight is ignored too — HasEdge defines edge presence as Weight > 0,
+// and a phantom zero-weight adjacency entry would be invisible to
+// HasEdge yet still steer components, cliques, and coloring.
 func (g *Graph) AddEdge(u, v int32, w uint64) {
-	if u == v {
+	if u == v || w == 0 {
 		return
 	}
 	g.addHalf(u, v, w)

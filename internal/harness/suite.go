@@ -67,6 +67,14 @@ type Config struct {
 	// 0 means GOMAXPROCS, 1 runs strictly serially. Results merge in
 	// fixed benchmark order, so rendered output does not depend on it.
 	Workers int
+	// ProfileShards parallelizes the intra-benchmark hot paths: the
+	// profiler's pair-count updates fan out to this many shard-local
+	// tables applied by worker goroutines, and maximal-clique
+	// enumeration splits its top-level Bron-Kerbosch subtrees across the
+	// same number of workers. 0 means GOMAXPROCS; 1 runs the exact
+	// serial code paths. Output is byte-identical for any value
+	// (DESIGN.md §11).
+	ProfileShards int
 	// Fused streams each benchmark's branch stream straight into the
 	// analysis consumers in fused execution passes instead of recording
 	// a full trace and replaying it: Artifacts.Trace and Filter.Kept
@@ -99,6 +107,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ProfileShards <= 0 {
+		c.ProfileShards = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -222,7 +233,8 @@ func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Art
 	window := s.profileWindow(spec)
 	s.progressf("profile %s: %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
 		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
-	prof := profile.NewProfiler(spec.Name, input.Name, profile.WithWindow(window))
+	prof := profile.NewProfiler(spec.Name, input.Name,
+		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards))
 	filter.Kept.Replay(prof)
 	prof.SetInstructions(stats.Instructions)
 
@@ -262,7 +274,8 @@ func (s *Suite) computeFused(spec workload.Spec, input workload.InputSet) (*Arti
 	window := s.profileWindow(spec)
 	s.progressf("profile %s (fused): %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
 		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
-	prof := profile.NewProfiler(spec.Name, input.Name, profile.WithWindow(window))
+	prof := profile.NewProfiler(spec.Name, input.Name,
+		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards))
 	if _, err := spec.RunInto(runCfg, trace.FilterSink{Keep: keep, Sink: prof}); err != nil {
 		return nil, fmt.Errorf("harness: profiling %s: %w", spec.Name, err)
 	}

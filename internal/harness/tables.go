@@ -68,6 +68,7 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			Threshold:    s.cfg.Threshold,
 			Definition:   core.MaximalCliques,
 			CliqueBudget: s.cfg.CliqueBudget,
+			Workers:      s.cfg.ProfileShards,
 		})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("harness: analyzing %s: %w", name, err)

@@ -15,6 +15,7 @@ type Profiler struct {
 	benchmark string
 	inputSet  string
 	window    int
+	numShards int
 
 	ids map[uint64]int32 // pc -> dense id
 
@@ -36,6 +37,11 @@ type Profiler struct {
 	// neighborhood (a few KB, cache-resident) instead of the global
 	// pair population.
 	nbrs []nbrCounter
+
+	// shards is the sharded accumulation backend (WithShards > 1): the
+	// scan emits pair-key increments that fan out to shard-local tables
+	// applied by worker goroutines. nil selects the serial nbrs path.
+	shards *pairShards
 
 	branches     uint64
 	instructions uint64
@@ -138,6 +144,20 @@ func WithWindow(depth int) Option {
 	return func(p *Profiler) { p.window = depth }
 }
 
+// WithShards selects how many shard-local pair tables accumulate the
+// interleave increments. n <= 1 keeps the serial per-branch counters —
+// the exact pre-sharding code path. n > 1 fans the scan's increments out
+// to n tables, each owned by a worker goroutine; the merged profile is
+// identical for every n because pair increments are commutative and each
+// key always routes to the same shard (DESIGN.md §11).
+func WithShards(n int) Option {
+	return func(p *Profiler) {
+		if n > 1 {
+			p.numShards = n
+		}
+	}
+}
+
 // NewProfiler returns an empty Profiler for the named benchmark run.
 func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 	p := &Profiler{
@@ -149,11 +169,22 @@ func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 	for _, o := range opts {
 		o(p)
 	}
+	if p.numShards > 1 {
+		p.shards = newPairShards(p.numShards)
+	}
 	return p
 }
 
 // Window returns the configured scan window (0 = unbounded).
 func (p *Profiler) Window() int { return p.window }
+
+// Shards returns the configured shard count (1 = serial).
+func (p *Profiler) Shards() int {
+	if p.shards == nil {
+		return 1
+	}
+	return p.numShards
+}
 
 // Branch consumes one dynamic branch event.
 func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
@@ -182,13 +213,26 @@ func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 		// Count interleavings: every branch ahead of id in the recency
 		// list ran since id's previous execution.
 		depth := 0
-		nbr := &p.nbrs[id]
-		for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
-			if p.window > 0 && depth >= p.window {
-				break
+		if p.shards != nil {
+			if !p.shards.running {
+				p.shards.start()
 			}
-			nbr.add(cur)
-			depth++
+			for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
+				if p.window > 0 && depth >= p.window {
+					break
+				}
+				p.shards.inc(PairKey(id, cur))
+				depth++
+			}
+		} else {
+			nbr := &p.nbrs[id]
+			for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
+				if p.window > 0 && depth >= p.window {
+					break
+				}
+				nbr.add(cur)
+				depth++
+			}
 		}
 		// Unlink id (O(1) via prev/next).
 		if p.prev[id] != -1 {
@@ -213,6 +257,18 @@ func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 
 // Branches returns the number of dynamic branches consumed so far.
 func (p *Profiler) Branches() uint64 { return p.branches }
+
+// ShardTableBytes reports the memory held by the shard-local pair
+// tables (0 in serial mode) — the space sharding trades for pipeline
+// parallelism, recorded by cmd/bench. It quiesces the shard workers;
+// accumulation may resume afterwards.
+func (p *Profiler) ShardTableBytes() uint64 {
+	if p.shards == nil {
+		return 0
+	}
+	p.shards.drain()
+	return p.shards.tableBytes()
+}
 
 // SetInstructions records the run's total instruction count (otherwise
 // estimated from the last branch time stamp).
@@ -244,12 +300,23 @@ func (p *Profiler) distinctPairs() int {
 // (exactly sized, so extraction never rehashes); callers done with a
 // transient profile can hand the table back via Profile.Release.
 func (p *Profiler) Profile() *Profile {
-	pairs := GetPairCounts(p.distinctPairs())
-	for id := range p.nbrs {
-		a := int32(id)
-		p.nbrs[id].each(func(b int32, count uint32) {
-			pairs.Add(PairKey(a, b), uint64(count))
-		})
+	var pairs *PairCounts
+	if p.shards != nil {
+		// Quiesce the shard workers, then merge the disjoint shard
+		// tables into one exactly-sized pooled table. Shards partition
+		// the key space, so the merge never collides and the totals are
+		// the per-pair increment counts — identical to the serial path.
+		p.shards.drain()
+		pairs = GetPairCounts(p.shards.distinct())
+		p.shards.mergeInto(pairs)
+	} else {
+		pairs = GetPairCounts(p.distinctPairs())
+		for id := range p.nbrs {
+			a := int32(id)
+			p.nbrs[id].each(func(b int32, count uint32) {
+				pairs.Add(PairKey(a, b), uint64(count))
+			})
+		}
 	}
 	out := &Profile{
 		Benchmark:    p.benchmark,

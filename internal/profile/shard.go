@@ -1,0 +1,159 @@
+package profile
+
+import "sync"
+
+// Sharded pair accumulation: the profiler's hot loop emits one pair-key
+// increment per interleaving, and in sharded mode those increments fan
+// out to P shard-local tables instead of the per-branch counters. Each
+// key is routed to a fixed shard by its hash, so a shard worker owns a
+// disjoint slice of the key space and applies its increments with no
+// locking. Increments are commutative and the routing is a pure function
+// of the key, which makes the merged table independent of shard count,
+// batch boundaries, and worker scheduling — the determinism argument of
+// DESIGN.md §11.
+//
+// The event scan itself stays sequential (the move-to-front list is a
+// serial data structure); only the table updates are offloaded, turning
+// the profiler into a two-stage pipeline: scan → per-shard increment.
+
+const (
+	// shardBatch is the number of keys buffered per shard before the
+	// batch is handed to the shard worker. Batching amortizes channel
+	// overhead to a fraction of a nanosecond per increment.
+	shardBatch = 1 << 12
+	// shardChanDepth bounds in-flight batches per shard; the producer
+	// blocks when a worker falls this far behind, keeping memory bounded.
+	shardChanDepth = 4
+)
+
+// pairShards is the sharded accumulation state. Workers run only while
+// events are flowing: drain stops them and establishes a happens-before
+// edge, after which the tables are safe to read from the caller's
+// goroutine; the next inc restarts them.
+type pairShards struct {
+	tables  []*PairCounts
+	pending [][]uint64
+	chs     []chan []uint64
+	wg      sync.WaitGroup
+	running bool
+	bufPool sync.Pool
+}
+
+func newPairShards(n int) *pairShards {
+	s := &pairShards{
+		tables:  make([]*PairCounts, n),
+		pending: make([][]uint64, n),
+		chs:     make([]chan []uint64, n),
+	}
+	for i := range s.tables {
+		s.tables[i] = NewPairCounts(0)
+	}
+	s.bufPool.New = func() any {
+		b := make([]uint64, 0, shardBatch)
+		return &b
+	}
+	return s
+}
+
+// shardOf routes a pair key to its shard. Any deterministic function of
+// the key preserves equivalence; a multiplicative mix spreads the
+// structured PairKey bit patterns evenly across a non-power-of-two shard
+// count.
+func (s *pairShards) shardOf(key uint64) int {
+	h := key * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(s.tables)))
+}
+
+func (s *pairShards) start() {
+	if s.running {
+		return
+	}
+	for i := range s.chs {
+		s.chs[i] = make(chan []uint64, shardChanDepth)
+	}
+	s.wg.Add(len(s.chs))
+	for i := range s.chs {
+		go s.worker(i)
+	}
+	s.running = true
+}
+
+func (s *pairShards) worker(i int) {
+	defer s.wg.Done()
+	t := s.tables[i]
+	for batch := range s.chs[i] {
+		for _, k := range batch {
+			t.Add(k, 1)
+		}
+		b := batch[:0]
+		s.bufPool.Put(&b)
+	}
+}
+
+// inc queues one increment for key's shard. Callers must have called
+// start since the last drain.
+func (s *pairShards) inc(key uint64) {
+	i := s.shardOf(key)
+	b := s.pending[i]
+	if b == nil {
+		b = (*s.bufPool.Get().(*[]uint64))[:0]
+	}
+	b = append(b, key)
+	if len(b) == cap(b) {
+		s.chs[i] <- b
+		b = nil
+	}
+	s.pending[i] = b
+}
+
+// drain flushes every pending batch and stops the workers. On return the
+// shard tables hold every increment issued so far and may be read from
+// the calling goroutine; accumulation can resume afterwards (inc after
+// start restarts the workers).
+func (s *pairShards) drain() {
+	if !s.running {
+		return
+	}
+	for i, b := range s.pending {
+		if len(b) > 0 {
+			s.chs[i] <- b
+		}
+		s.pending[i] = nil
+		close(s.chs[i])
+	}
+	s.wg.Wait()
+	s.running = false
+}
+
+// distinct returns the number of distinct pairs across the shard tables.
+// Shards partition the key space, so the sum is exact. Call only after
+// drain.
+func (s *pairShards) distinct() int {
+	total := 0
+	for _, t := range s.tables {
+		total += t.Len()
+	}
+	return total
+}
+
+// mergeInto adds every shard's counts into dst. Call only after drain.
+func (s *pairShards) mergeInto(dst *PairCounts) {
+	for _, t := range s.tables {
+		t.Range(func(k, c uint64) bool {
+			dst.Add(k, c)
+			return true
+		})
+	}
+}
+
+// tableBytes reports the memory held by the shard tables' key and value
+// arrays — the space cost sharding adds over the serial path, recorded
+// by cmd/bench. Call only after drain.
+func (s *pairShards) tableBytes() uint64 {
+	var total uint64
+	for _, t := range s.tables {
+		total += uint64(len(t.keys)) * 16 // 8B key + 8B value per slot
+	}
+	return total
+}

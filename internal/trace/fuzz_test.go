@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRing differentially fuzzes the bounded event ring against a plain
+// slice reference: for any capacity and event stream, Total matches the
+// stream length and Tail returns exactly the last min(cap, len) events
+// in order.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(0), []byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa})
+	f.Fuzz(func(t *testing.T, capRaw uint8, data []byte) {
+		capacity := int(capRaw) % 40
+		r := NewRing(capacity)
+		if capacity < 1 {
+			capacity = 1 // NewRing's documented floor
+		}
+
+		var ref []Event
+		for i := 0; len(data) >= 3; i++ {
+			pc := 0x400000 + uint64(binary.LittleEndian.Uint16(data[:2]))*4
+			taken := data[2]&1 == 1
+			r.Branch(pc, taken, uint64(i))
+			ref = append(ref, Event{PC: pc, ICount: uint64(i), Taken: taken})
+			data = data[3:]
+
+			if r.Total() != uint64(len(ref)) {
+				t.Fatalf("Total() = %d, want %d", r.Total(), len(ref))
+			}
+			want := ref
+			if len(want) > capacity {
+				want = want[len(want)-capacity:]
+			}
+			got := r.Tail()
+			if len(got) != len(want) {
+				t.Fatalf("after %d events Tail has %d entries, want %d", len(ref), len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("after %d events Tail[%d] = %+v, want %+v", len(ref), j, got[j], want[j])
+				}
+			}
+		}
+	})
+}
