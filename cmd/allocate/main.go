@@ -24,6 +24,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -72,18 +73,23 @@ func main() {
 		shards    = flag.Int("shards", 0, "pair-count shards (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 		check     = flag.Bool("check", false, "verify artifact invariants (conflict graph, allocation); non-zero exit on violation")
 		corrupt   = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or alloc); implies -check")
+		metrics   = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
 	)
 	flag.Parse()
 	if *corrupt != "" {
 		*check = true
 	}
-	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt); err != nil {
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "allocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string) error {
+func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string, reg *obs.Registry) error {
 	if bench == "" {
 		return fmt.Errorf("need -bench")
 	}
@@ -91,6 +97,7 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 	if err != nil {
 		return err
 	}
+	m := obs.New(reg)
 
 	var profiles []*profile.Profile
 	for _, name := range strings.Split(inputs, ",") {
@@ -108,12 +115,12 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 		if shards <= 0 {
 			shards = runtime.GOMAXPROCS(0)
 		}
-		opts := []profile.Option{profile.WithShards(shards)}
+		opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
 		if window > 0 {
 			opts = append(opts, profile.WithWindow(window))
 		}
 		prof := profile.NewProfiler(bench, in.Name, opts...)
-		stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale}, prof)
+		stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()}, prof)
 		if err != nil {
 			return err
 		}
@@ -162,7 +169,7 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 				return err
 			}
 		}
-		return nil
+		return dumpMetrics(reg)
 	}
 
 	alloc, err := core.Allocate(prof, cfg)
@@ -183,5 +190,15 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 		fmt.Printf("reserved entries: %d (biased taken), %d (biased not-taken)\n",
 			alloc.Map.ReservedTaken, alloc.Map.ReservedNotTaken)
 	}
-	return nil
+	return dumpMetrics(reg)
+}
+
+// dumpMetrics appends the text encoding of the registry to the report
+// (-metrics); a nil registry means instrumentation is off.
+func dumpMetrics(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	fmt.Printf("\nmetrics:\n")
+	return obs.WriteText(os.Stdout, reg.Snapshot())
 }

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -62,7 +65,7 @@ func checkGolden(t *testing.T, name, got string) {
 func TestGoldenAllocate(t *testing.T) {
 	for _, shards := range []int{1, 2, 7} {
 		out := captureStdout(t, func() error {
-			return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, shards, false, "")
+			return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, shards, false, "", nil)
 		})
 		checkGolden(t, "li_alloc.golden", out)
 	}
@@ -71,7 +74,7 @@ func TestGoldenAllocate(t *testing.T) {
 // TestGoldenAllocateCheck covers -check on a healthy allocation.
 func TestGoldenAllocateCheck(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 2, true, "")
+		return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 2, true, "", nil)
 	})
 	checkGolden(t, "li_alloc_check.golden", out)
 }
@@ -79,7 +82,7 @@ func TestGoldenAllocateCheck(t *testing.T) {
 // TestGoldenAllocateClassify covers the Section 5.2 classification path.
 func TestGoldenAllocateClassify(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("li", "ref", 0.05, 64, true, false, 1024, 100, 0, 1, false, "")
+		return run("li", "ref", 0.05, 64, true, false, 1024, 100, 0, 1, false, "", nil)
 	})
 	checkGolden(t, "li_alloc_classify.golden", out)
 }
@@ -88,9 +91,24 @@ func TestGoldenAllocateClassify(t *testing.T) {
 // (Section 5.2): two input sets profiled and merged before allocation.
 func TestGoldenAllocateMergedInputs(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("li", "ref,a", 0.05, 64, false, false, 1024, 100, 0, 3, false, "")
+		return run("li", "ref,a", 0.05, 64, false, false, 1024, 100, 0, 3, false, "", nil)
 	})
 	checkGolden(t, "li_alloc_merged.golden", out)
+}
+
+// TestGoldenAllocateMetrics locks down the -metrics dump appended to
+// the allocation report. Frozen clock + zero memory source make the
+// timing series deterministic; the run is pinned serial because shard
+// batch counts depend on shard count.
+func TestGoldenAllocateMetrics(t *testing.T) {
+	reg := obs.NewRegistry(
+		obs.WithClock(obs.NewFakeClock(time.Unix(0, 0), 0)),
+		obs.WithMemSource(func() uint64 { return 0 }),
+	)
+	out := captureStdout(t, func() error {
+		return run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 1, false, "", reg)
+	})
+	checkGolden(t, "li_alloc_metrics.golden", out)
 }
 
 // TestCorruptFailsCheck is the negative control for the allocate -check
@@ -103,7 +121,7 @@ func TestCorruptFailsCheck(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = devnull
-		err = run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 1, true, target)
+		err = run("li", "ref", 0.05, 64, false, false, 1024, 100, 0, 1, true, target, nil)
 		os.Stdout = old
 		if cerr := devnull.Close(); cerr != nil {
 			t.Fatal(cerr)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -90,6 +91,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare against this baseline report")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
 		update    = flag.Bool("update", false, "overwrite the baseline with this run's report")
+		metrics   = flag.Bool("metrics", false, "instrument the comparison runs and dump the metrics registry (text encoding) to stderr")
 	)
 	flag.Parse()
 	if *shards <= 0 {
@@ -99,10 +101,20 @@ func main() {
 		*shards = 2
 	}
 
-	rep, err := measure(*scale, *workers, *shards)
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	rep, err := measure(obs.SystemClock(), *scale, *workers, *shards, obs.New(reg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		if err := obs.WriteText(os.Stderr, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -165,7 +177,18 @@ func discardFigure(s *harness.Suite, n int) error {
 	return harness.RunFigure(s, io.Discard, n, false)
 }
 
-func measure(scale float64, workers, shards int) (*Report, error) {
+// timeRun measures f's wall-clock duration on the injected clock — the
+// single timing primitive every comparison below uses, so bench output
+// is testable under a FakeClock (no ambient time.Now anywhere here).
+func timeRun(clock obs.Clock, f func() error) (time.Duration, error) {
+	start := clock.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	return clock.Now().Sub(start), nil
+}
+
+func measure(clock obs.Clock, scale float64, workers, shards int, m *obs.Metrics) (*Report, error) {
 	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	for _, e := range experiments() {
@@ -205,7 +228,7 @@ func measure(scale float64, workers, shards int) (*Report, error) {
 		rep.Experiments = append(rep.Experiments, res)
 	}
 
-	suite, err := compareSuites(scale, workers)
+	suite, err := compareSuites(clock, scale, workers, m)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +237,7 @@ func measure(scale float64, workers, shards int) (*Report, error) {
 		time.Duration(suite.SerialRecordNs), suite.Workers, time.Duration(suite.ParallelFusedNs),
 		suite.Speedup, suite.RecordTraceBytes, suite.FusedTraceBytes)
 
-	sharding, err := compareSharding(scale, shards)
+	sharding, err := compareSharding(clock, scale, shards, m)
 	if err != nil {
 		return nil, err
 	}
@@ -231,16 +254,14 @@ func measure(scale float64, workers, shards int) (*Report, error) {
 // worker, so only intra-benchmark parallelism differs), and a direct
 // unfiltered profile pass over the heaviest benchmark's branch stream,
 // where the shard tables' memory cost is also read.
-func compareSharding(scale float64, shards int) (*ShardingComparison, error) {
+func compareSharding(clock obs.Clock, scale float64, shards int, m *obs.Metrics) (*ShardingComparison, error) {
 	runSuite := func(profileShards int) (time.Duration, error) {
 		s := harness.NewSuite(harness.Config{
-			Scale: scale, Workers: 1, Fused: true, ProfileShards: profileShards,
+			Scale: scale, Workers: 1, Fused: true, ProfileShards: profileShards, Metrics: m,
 		})
-		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
-		if err := harness.RunAll(s, io.Discard, false); err != nil {
-			return 0, err
-		}
-		return time.Since(start), nil //reprolint:allow entropy benchmark wall-clock measurement
+		return timeRun(clock, func() error {
+			return harness.RunAll(s, io.Discard, false)
+		})
 	}
 	suite1, err := runSuite(1)
 	if err != nil {
@@ -259,14 +280,17 @@ func compareSharding(scale float64, shards int) (*ShardingComparison, error) {
 	runCfg := workload.RunConfig{Input: workload.InputRef, Scale: scale}
 	runProfile := func(profileShards int) (time.Duration, *profile.Profiler, error) {
 		prof := profile.NewProfiler(profileBench, workload.InputRef.Name,
-			profile.WithShards(profileShards))
-		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
-		if _, err := spec.RunInto(runCfg, prof); err != nil {
+			profile.WithShards(profileShards), profile.WithMetrics(m.Profile()))
+		elapsed, err := timeRun(clock, func() error {
+			if _, err := spec.RunInto(runCfg, prof); err != nil {
+				return err
+			}
+			prof.Profile().Release()
+			return nil
+		})
+		if err != nil {
 			return 0, nil, err
 		}
-		p := prof.Profile()
-		elapsed := time.Since(start) //reprolint:allow entropy benchmark wall-clock measurement
-		p.Release()
 		return elapsed, prof, nil
 	}
 	prof1, _, err := runProfile(1)
@@ -321,21 +345,22 @@ func streamBranches(s *harness.Suite) uint64 {
 
 // compareSuites runs the complete table+figure composition once per
 // pipeline and reports wall clock and retained trace memory.
-func compareSuites(scale float64, workers int) (*SuiteComparison, error) {
+func compareSuites(clock obs.Clock, scale float64, workers int, m *obs.Metrics) (*SuiteComparison, error) {
 	run := func(cfg harness.Config) (time.Duration, uint64, error) {
 		s := harness.NewSuite(cfg)
-		start := time.Now() //reprolint:allow entropy benchmark wall-clock measurement
-		if err := harness.RunAll(s, io.Discard, false); err != nil {
+		elapsed, err := timeRun(clock, func() error {
+			return harness.RunAll(s, io.Discard, false)
+		})
+		if err != nil {
 			return 0, 0, err
 		}
-		elapsed := time.Since(start) //reprolint:allow entropy benchmark wall-clock measurement
 		return elapsed, s.RetainedTraceBytes(), nil
 	}
-	serialNs, recBytes, err := run(harness.Config{Scale: scale, Workers: 1})
+	serialNs, recBytes, err := run(harness.Config{Scale: scale, Workers: 1, Metrics: m})
 	if err != nil {
 		return nil, err
 	}
-	fusedNs, fusedBytes, err := run(harness.Config{Scale: scale, Workers: workers, Fused: true})
+	fusedNs, fusedBytes, err := run(harness.Config{Scale: scale, Workers: workers, Fused: true, Metrics: m})
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -46,6 +47,7 @@ func main() {
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
 		check       = flag.Bool("check", false, "verify artifact invariants (conflict graph, working sets); non-zero exit on violation")
 		corrupt     = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or sets); implies -check")
+		metrics     = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -79,7 +81,11 @@ func main() {
 		}()
 	}
 
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt); err != nil {
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -114,7 +120,7 @@ func inputSet(name string) (workload.InputSet, error) {
 	return workload.InputSet{}, fmt.Errorf("unknown input set %q (want ref, a, or b)", name)
 }
 
-func loadTrace(bench, input string, scale float64, traceFile, programFile, save string, coverage float64) (*trace.Trace, float64, error) {
+func loadTrace(bench, input string, scale float64, traceFile, programFile, save string, coverage float64, m *obs.Metrics) (*trace.Trace, float64, error) {
 	if programFile != "" {
 		f, err := os.Open(programFile)
 		if err != nil {
@@ -132,7 +138,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 			return nil, 0, err
 		}
 		rec := trace.NewRecorder(prog.Name, in.Name)
-		stats, err := vm.Run(prog, vm.Config{DataSeed: in.Seed, Sink: rec})
+		stats, err := vm.Run(prog, vm.Config{DataSeed: in.Seed, Sink: rec, Metrics: m.VM()})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -167,7 +173,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	if err != nil {
 		return nil, 0, err
 	}
-	tr, _, err := spec.Run(workload.RunConfig{Input: in, Scale: scale})
+	tr, _, err := spec.Run(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -191,7 +197,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	return tr, coverage, nil
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string) error {
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, reg *obs.Registry) error {
 	var def core.SetDefinition
 	switch definition {
 	case "cliques":
@@ -201,8 +207,9 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	default:
 		return fmt.Errorf("unknown definition %q (want cliques or partition)", definition)
 	}
+	m := obs.New(reg)
 
-	tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage)
+	tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage, m)
 	if err != nil {
 		return err
 	}
@@ -216,7 +223,7 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	opts := []profile.Option{profile.WithShards(shards)}
+	opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
 	if window > 0 {
 		opts = append(opts, profile.WithWindow(window))
 		fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
@@ -229,6 +236,7 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		Threshold:  threshold,
 		Definition: def,
 		Workers:    shards,
+		Metrics:    m.Clique(),
 	})
 	if err != nil {
 		return err
@@ -281,6 +289,13 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		for i := 0; i < top; i++ {
 			ws := res.Sets[i]
 			fmt.Printf("  #%d: %d branches, %d executions\n", i+1, ws.Size(), ws.ExecWeight)
+		}
+	}
+
+	if reg != nil {
+		fmt.Printf("\nmetrics:\n")
+		if err := obs.WriteText(os.Stdout, reg.Snapshot()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -65,7 +68,7 @@ func checkGolden(t *testing.T, name, got string) {
 // statistics, and top sets.
 func TestGoldenProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "")
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", nil)
 	})
 	checkGolden(t, "program.golden", out)
 }
@@ -76,7 +79,7 @@ func TestGoldenProgram(t *testing.T) {
 func TestGoldenProgramSharded(t *testing.T) {
 	for _, shards := range []int{2, 3, 7} {
 		out := captureStdout(t, func() error {
-			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "")
+			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", nil)
 		})
 		checkGolden(t, "program.golden", out)
 	}
@@ -87,7 +90,7 @@ func TestGoldenProgramSharded(t *testing.T) {
 // artifact.
 func TestGoldenProgramCheck(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "")
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", nil)
 	})
 	checkGolden(t, "program_check.golden", out)
 }
@@ -96,7 +99,7 @@ func TestGoldenProgramCheck(t *testing.T) {
 // definition (-definition partition).
 func TestGoldenProgramPartition(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "")
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", nil)
 	})
 	checkGolden(t, "program_partition.golden", out)
 }
@@ -106,10 +109,30 @@ func TestGoldenProgramPartition(t *testing.T) {
 func TestGoldenBench(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		out := captureStdout(t, func() error {
-			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "")
+			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", nil)
 		})
 		checkGolden(t, "bench_li.golden", out)
 	}
+}
+
+// TestGoldenProgramMetrics locks down the -metrics dump appended to the
+// report. The registry gets a frozen clock and a zero memory source so
+// the timing and allocation series are deterministic; the event and
+// pair-increment counters are exact properties of the fixture program.
+// The run is pinned serial (shards=1): operational series like shard
+// batch counts and the queue high-water gauge legitimately depend on
+// shard count and goroutine scheduling, while the serial path is
+// structurally deterministic. Sharded-run counter exactness is covered
+// by the harness observability tests instead.
+func TestGoldenProgramMetrics(t *testing.T) {
+	reg := obs.NewRegistry(
+		obs.WithClock(obs.NewFakeClock(time.Unix(0, 0), 0)),
+		obs.WithMemSource(func() uint64 { return 0 }),
+	)
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", reg)
+	})
+	checkGolden(t, "program_metrics.golden", out)
 }
 
 // TestCorruptFailsCheck is the negative control: a seeded corruption
@@ -122,7 +145,7 @@ func TestCorruptFailsCheck(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = devnull
-		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target)
+		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, nil)
 		os.Stdout = old
 		if cerr := devnull.Close(); cerr != nil {
 			t.Fatal(cerr)

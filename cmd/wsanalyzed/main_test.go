@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (regenerate with -update if intended)\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// newTestService spins up the full HTTP stack around a server — the
+// black-box entry point every test below talks to.
+func newTestService(t *testing.T, s *server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(data, into); err != nil {
+			t.Fatalf("decoding %s: %v\nbody: %s", url, err, data)
+		}
+	}
+	return resp
+}
+
+// submit posts an analyze request and returns the accepted job id.
+func submit(t *testing.T, ts *httptest.Server, req analyzeRequest) string {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/analyze", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" {
+		t.Fatalf("submit: empty job id in %s", body)
+	}
+	return acc.ID
+}
+
+// poll waits for the job to leave queued/running and returns its final
+// state.
+func poll(t *testing.T, ts *httptest.Server, id string) job {
+	t.Helper()
+	deadline := 600 // × 100ms = 60s
+	for i := 0; i < deadline; i++ {
+		var j job
+		resp := getJSON(t, ts.URL+"/jobs/"+id, &j)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, resp.StatusCode)
+		}
+		if j.Status == "done" || j.Status == "failed" {
+			return j
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return job{}
+}
+
+// TestRoundTripMatchesHarness is the service's core acceptance: a full
+// submit→poll→result round trip through HTTP must return bytes
+// identical to calling the harness directly with the same
+// configuration.
+func TestRoundTripMatchesHarness(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 2))
+	req := analyzeRequest{Kind: "all", Scale: 0.05}
+	id := submit(t, ts, req)
+	j := poll(t, ts, id)
+	if j.Status != "done" {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+
+	direct := harness.NewSuite(harness.Config{Scale: 0.05, Fused: true})
+	var want bytes.Buffer
+	if err := harness.RunAll(direct, &want, false); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != want.String() {
+		t.Errorf("service result differs from direct harness run (%d vs %d bytes)",
+			len(j.Result), want.Len())
+	}
+}
+
+// TestConcurrentSubmissions floods the service with more jobs than its
+// concurrency bound and checks every one completes correctly — CI runs
+// this under -race, so the job table and counter synchronization are
+// verified at the same time.
+func TestConcurrentSubmissions(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newServer(reg, 2)
+	ts := newTestService(t, srv)
+
+	const jobs = 6
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[i] = submit(t, ts, analyzeRequest{Kind: "table", Table: 1, Scale: 0.02})
+		}()
+	}
+	wg.Wait()
+
+	var first string
+	for i, id := range ids {
+		j := poll(t, ts, id)
+		if j.Status != "done" {
+			t.Fatalf("job %s failed: %s", id, j.Error)
+		}
+		if i == 0 {
+			first = j.Result
+		} else if j.Result != first {
+			t.Errorf("job %s result differs from job %s", id, ids[0])
+		}
+	}
+	if got := reg.Counter("wsd_jobs_submitted_total").Value(); got != jobs {
+		t.Errorf("submitted counter = %d, want %d", got, jobs)
+	}
+	if got := reg.Counter("wsd_jobs_completed_total").Value(); got != jobs {
+		t.Errorf("completed counter = %d, want %d", got, jobs)
+	}
+	if got := reg.Gauge("wsd_jobs_running").Value(); got != 0 {
+		t.Errorf("running gauge = %d after quiescence, want 0", got)
+	}
+	if got := reg.Gauge("wsd_jobs_queued").Value(); got != 0 {
+		t.Errorf("queued gauge = %d after quiescence, want 0", got)
+	}
+}
+
+// TestGracefulShutdown drives the drain protocol: with a job held
+// in-flight by the test seam, beginDrain must reject new submissions
+// with 503 while letting the in-flight job run to completion.
+func TestGracefulShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newServer(reg, 1)
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	srv.startHook = func(id string) {
+		started <- id
+		<-release
+	}
+	ts := newTestService(t, srv)
+
+	id := submit(t, ts, analyzeRequest{Kind: "table", Table: 1, Scale: 0.02})
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	srv.beginDrain()
+
+	var health struct {
+		Draining bool `json:"draining"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.Draining {
+		t.Error("healthz does not report draining")
+	}
+
+	resp, body := postJSON(t, ts.URL+"/analyze", analyzeRequest{Kind: "table", Table: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if got := reg.Counter("wsd_jobs_rejected_total").Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	close(release)
+	srv.waitIdle()
+	j := poll(t, ts, id)
+	if j.Status != "done" {
+		t.Errorf("in-flight job did not complete across drain: %s (%s)", j.Status, j.Error)
+	}
+}
+
+// TestMetricsEndpointGolden locks down the Prometheus exposition after
+// one deterministic job: frozen clock and zero memory source null the
+// timing series, everything else is an exact property of the fixture
+// workload.
+func TestMetricsEndpointGolden(t *testing.T) {
+	reg := obs.NewRegistry(
+		obs.WithClock(obs.NewFakeClock(time.Unix(0, 0), 0)),
+		obs.WithMemSource(func() uint64 { return 0 }),
+	)
+	srv := newServer(reg, 1)
+	ts := newTestService(t, srv)
+
+	id := submit(t, ts, analyzeRequest{Kind: "table", Table: 1, Scale: 0.02, Workers: 1, Shards: 1})
+	if j := poll(t, ts, id); j.Status != "done" {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	checkGolden(t, "metrics.prom.golden", string(body))
+
+	// The alternate encodings must serve and agree on a spot value.
+	var doc struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	getJSON(t, ts.URL+"/metrics?format=json", &doc)
+	want := fmt.Sprintf("wsd_jobs_completed_total %d", doc.Counters["wsd_jobs_completed_total"])
+	if !strings.Contains(string(body), want) {
+		t.Errorf("prom and json encodings disagree on %q", want)
+	}
+	if resp := getJSON(t, ts.URL+"/metrics?format=text", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("text format: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/metrics?format=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestValidation covers the request-rejection paths.
+func TestValidation(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 1))
+
+	cases := []analyzeRequest{
+		{Kind: "bogus"},
+		{Kind: "table", Table: 9},
+		{Kind: "figure", Figure: 1},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/analyze", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400 (body %s)", c, resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	if resp := getJSON(t, ts.URL+"/jobs/job-999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobsListing checks /jobs reports submission order and statuses.
+func TestJobsListing(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 1))
+	a := submit(t, ts, analyzeRequest{Kind: "table", Table: 1, Scale: 0.02})
+	b := submit(t, ts, analyzeRequest{Kind: "table", Table: 2, Scale: 0.02})
+	poll(t, ts, a)
+	poll(t, ts, b)
+
+	var list struct {
+		Jobs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Kind   string `json:"kind"`
+		} `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(list.Jobs))
+	}
+	if list.Jobs[0].ID != a || list.Jobs[1].ID != b {
+		t.Errorf("jobs not in submission order: %+v", list.Jobs)
+	}
+	for _, j := range list.Jobs {
+		if j.Status != "done" {
+			t.Errorf("job %s status %q, want done", j.ID, j.Status)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// analyzeRequest is the POST /analyze body: which experiment to run and
+// the harness configuration to run it under. Zero values select the
+// same defaults the cmd/tables CLI uses, so an empty request reproduces
+// `tables` exactly.
+type analyzeRequest struct {
+	// Kind selects the experiment: "all" (default), "table", "figure",
+	// "ablations", or "extras".
+	Kind string `json:"kind"`
+	// Table (1-4) and Figure (3-4) select the numbered experiment for
+	// kind "table" / "figure".
+	Table  int `json:"table,omitempty"`
+	Figure int `json:"figure,omitempty"`
+
+	Scale        float64 `json:"scale,omitempty"`
+	Threshold    uint64  `json:"threshold,omitempty"`
+	CliqueBudget int     `json:"clique_budget,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+	// Fused defaults to true (the CLI default) when omitted.
+	Fused    *bool `json:"fused,omitempty"`
+	Markdown bool  `json:"markdown,omitempty"`
+	Check    bool  `json:"check,omitempty"`
+}
+
+func (r *analyzeRequest) validate() error {
+	switch r.Kind {
+	case "", "all", "ablations", "extras":
+	case "table":
+		if r.Table < 1 || r.Table > 4 {
+			return fmt.Errorf("kind %q needs table 1-4, got %d", r.Kind, r.Table)
+		}
+	case "figure":
+		if r.Figure != 3 && r.Figure != 4 {
+			return fmt.Errorf("kind %q needs figure 3 or 4, got %d", r.Kind, r.Figure)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras)", r.Kind)
+	}
+	return nil
+}
+
+// executeJob runs one analysis request on a fresh Suite and returns the
+// rendered output — the same bytes the corresponding harness.Run* call
+// writes, which the round-trip test asserts.
+func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
+	fused := true
+	if req.Fused != nil {
+		fused = *req.Fused
+	}
+	suite := harness.NewSuite(harness.Config{
+		Scale:         req.Scale,
+		Threshold:     req.Threshold,
+		CliqueBudget:  req.CliqueBudget,
+		Check:         req.Check,
+		Workers:       req.Workers,
+		ProfileShards: req.Shards,
+		Fused:         fused,
+		Metrics:       m,
+	})
+	var buf bytes.Buffer
+	var err error
+	switch req.Kind {
+	case "", "all":
+		err = harness.RunAll(suite, &buf, req.Markdown)
+	case "table":
+		err = harness.RunTable(suite, &buf, req.Table, req.Markdown)
+	case "figure":
+		err = harness.RunFigure(suite, &buf, req.Figure, req.Markdown)
+	case "ablations":
+		err = harness.RunAblations(suite, &buf, req.Markdown)
+	case "extras":
+		err = harness.RunExtras(suite, &buf, req.Markdown)
+	default:
+		err = fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	if err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// job is one submitted analysis. Fields past the ID are guarded by the
+// owning server's mutex.
+type job struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"` // queued, running, done, failed
+	Req    analyzeRequest `json:"request"`
+	Result string         `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// server is the wsanalyzed HTTP service: it accepts analysis jobs, runs
+// them on the instrumented harness with bounded concurrency, and serves
+// job state plus the metrics registry.
+type server struct {
+	reg     *obs.Registry
+	metrics *obs.Metrics
+	sem     chan struct{} // bounds concurrently executing jobs
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // submission order, for deterministic listings
+	nextID   int
+	wg       sync.WaitGroup // tracks submitted-but-unfinished jobs
+
+	// startHook, when non-nil, runs in the job goroutine after the job
+	// enters "running" and before execution — a test seam that lets the
+	// shutdown test hold a job in flight.
+	startHook func(id string)
+
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	rejected  *obs.Counter
+	running   *obs.Gauge
+	queued    *obs.Gauge
+}
+
+// newServer builds a server around reg running at most maxConcurrent
+// jobs at once (minimum 1).
+func newServer(reg *obs.Registry, maxConcurrent int) *server {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &server{
+		reg:       reg,
+		metrics:   obs.New(reg),
+		sem:       make(chan struct{}, maxConcurrent),
+		jobs:      make(map[string]*job),
+		submitted: reg.Counter("wsd_jobs_submitted_total"),
+		completed: reg.Counter("wsd_jobs_completed_total"),
+		failed:    reg.Counter("wsd_jobs_failed_total"),
+		rejected:  reg.Counter("wsd_jobs_rejected_total"),
+		running:   reg.Gauge("wsd_jobs_running"),
+		queued:    reg.Gauge("wsd_jobs_queued"),
+	}
+}
+
+// handler builds the service mux.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// beginDrain stops accepting new jobs. It does not wait; pair with
+// waitIdle.
+func (s *server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// waitIdle blocks until every accepted job has finished.
+func (s *server) waitIdle() { s.wg.Wait() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	// The draining check, the job registration, and the WaitGroup add
+	// happen under one lock so a drainer that has observed "draining set"
+	// can rely on wg covering every accepted job.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server is draining; not accepting jobs"})
+		return
+	}
+	s.nextID++
+	j := &job{ID: fmt.Sprintf("job-%d", s.nextID), Status: "queued", Req: req}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.submitted.Inc()
+	s.queued.Add(1)
+	go s.runJob(j)
+
+	writeJSON(w, http.StatusAccepted, struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}{j.ID, "queued"})
+}
+
+func (s *server) runJob(j *job) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.queued.Add(-1)
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	s.mu.Lock()
+	j.Status = "running"
+	req := j.Req
+	s.mu.Unlock()
+	if s.startHook != nil {
+		s.startHook(j.ID)
+	}
+
+	out, err := executeJob(req, s.metrics)
+
+	s.mu.Lock()
+	if err != nil {
+		j.Status = "failed"
+		j.Error = err.Error()
+	} else {
+		j.Status = "done"
+		j.Result = out
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.failed.Inc()
+	} else {
+		s.completed.Inc()
+	}
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	type summary struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Kind   string `json:"kind"`
+	}
+	list := make([]summary, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		kind := j.Req.Kind
+		if kind == "" {
+			kind = "all"
+		}
+		list = append(list, summary{j.ID, j.Status, kind})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []summary `json:"jobs"`
+	}{list})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cp job
+	if ok {
+		cp = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	switch r.URL.Query().Get("format") {
+	case "", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WriteProm(w, snap)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain")
+		_ = obs.WriteText(w, snap)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteJSON(w, snap)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown format (have prom, text, json)"})
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}{"ok", draining})
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -75,6 +76,9 @@ type AnalysisConfig struct {
 	// extracted sets are identical for any value — results merge through
 	// a canonical sort (see graph.MaximalCliquesParallel).
 	Workers int
+	// Metrics, when non-nil, records clique-enumeration effort (subtask
+	// counts, budget steps, truncations). Never affects the result.
+	Metrics *obs.CliqueMetrics
 }
 
 // WorkingSet is one extracted set of interacting branches.
@@ -170,7 +174,7 @@ func Analyze(p *profile.Profile, cfg AnalysisConfig) (*AnalysisResult, error) {
 	truncated := false
 	switch cfg.Definition {
 	case MaximalCliques:
-		res := g.MaximalCliquesParallel(cfg.CliqueBudget, cfg.IncludeSingletons, cfg.Workers)
+		res := g.MaximalCliquesObs(cfg.CliqueBudget, cfg.IncludeSingletons, cfg.Workers, cfg.Metrics)
 		cliques, truncated = res.Cliques, res.Truncated
 	case GreedyPartition:
 		cliques = g.GreedyCliquePartition(cfg.IncludeSingletons)

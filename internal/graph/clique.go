@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // CliqueResult holds the outcome of working-set extraction.
@@ -54,11 +56,21 @@ func (g *Graph) MaximalCliques(budget int, includeSingletons bool) CliqueResult 
 //
 // workers <= 1 runs the exact serial enumeration.
 func (g *Graph) MaximalCliquesParallel(budget int, includeSingletons bool, workers int) CliqueResult {
+	return g.MaximalCliquesObs(budget, includeSingletons, workers, nil)
+}
+
+// MaximalCliquesObs is MaximalCliquesParallel with enumeration-effort
+// metrics: subtasks spawned, budget steps consumed, cliques reported,
+// and truncation events are recorded into m (nil disables recording —
+// the enumeration itself is identical either way).
+func (g *Graph) MaximalCliquesObs(budget int, includeSingletons bool, workers int, m *obs.CliqueMetrics) CliqueResult {
 	if budget <= 0 {
 		budget = DefaultCliqueBudget
 	}
 	comps := g.Components()
 	var res CliqueResult
+	var subtasks int
+	var steps int64
 	if workers <= 1 {
 		e := &cliqueEnum{budget: budget}
 		for _, comp := range comps {
@@ -74,10 +86,12 @@ func (g *Graph) MaximalCliquesParallel(budget int, includeSingletons bool, worke
 			}
 		}
 		res = CliqueResult{Cliques: e.out, Truncated: e.exhausted}
+		steps = int64(budget - e.budget)
 	} else {
-		res = g.parallelCliques(budget, includeSingletons, workers, comps)
+		res, subtasks, steps = g.parallelCliques(budget, includeSingletons, workers, comps)
 	}
 	sortCliques(res.Cliques)
+	m.Record(subtasks, steps, len(res.Cliques), res.Truncated)
 	return res
 }
 
@@ -229,8 +243,9 @@ type cliqueTask struct {
 // every component and runs the subtrees on a worker pool. The subtask
 // snapshots are derived sequentially in the same candidate order the
 // serial code iterates, so together they cover exactly the serial
-// recursion's root branches.
-func (g *Graph) parallelCliques(budget int, includeSingletons bool, workers int, comps [][]int32) CliqueResult {
+// recursion's root branches. Besides the result it reports the number
+// of subtasks spawned and the budget steps consumed, for metrics.
+func (g *Graph) parallelCliques(budget int, includeSingletons bool, workers int, comps [][]int32) (CliqueResult, int, int64) {
 	shared := new(atomic.Int64)
 	shared.Store(int64(budget))
 
@@ -300,7 +315,13 @@ func (g *Graph) parallelCliques(budget int, includeSingletons bool, workers int,
 	for _, o := range outs {
 		out = append(out, o...)
 	}
-	return CliqueResult{Cliques: out, Truncated: exhausted.Load()}
+	// Remaining budget clamps at zero: exhaustion can drive the shared
+	// counter negative by up to one step per worker.
+	remaining := shared.Load()
+	if remaining < 0 {
+		remaining = 0
+	}
+	return CliqueResult{Cliques: out, Truncated: exhausted.Load()}, len(tasks), int64(budget) - remaining
 }
 
 // GreedyCliquePartition partitions the nodes of g into disjoint cliques:

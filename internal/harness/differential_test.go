@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -79,6 +80,7 @@ func benchmarkDump(t *testing.T, s *Suite, name string, shards int) string {
 		Threshold:  s.cfg.Threshold,
 		Definition: core.MaximalCliques,
 		Workers:    shards,
+		Metrics:    s.cfg.Metrics.Clique(),
 	})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
@@ -98,13 +100,15 @@ func benchmarkDump(t *testing.T, s *Suite, name string, shards int) string {
 // the merged conflict graph, the extracted working sets, and the
 // allocation must be byte-identical to the serial (shards=1) pipeline.
 // CI runs it under -race, so the shard workers' synchronization is
-// checked at the same time.
+// checked at the same time. Every suite runs fully instrumented: the
+// equivalence must hold with metrics enabled (ISSUE 4), and -race then
+// also covers the metric writes on the shard hot paths.
 func TestShardedSuiteMatchesSerial(t *testing.T) {
 	shardCounts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
 	names := workload.Names()
 
 	// Reference: strictly serial intra-benchmark pipeline.
-	ref := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: 1, Fused: true})
+	ref := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: 1, Fused: true, Metrics: obs.New(obs.NewRegistry())})
 	want := make(map[string]string, len(names))
 	for _, name := range names {
 		want[name] = benchmarkDump(t, ref, name, 1)
@@ -118,7 +122,7 @@ func TestShardedSuiteMatchesSerial(t *testing.T) {
 		seen[shards] = true
 		shards := shards
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			s := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: shards, Fused: true})
+			s := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: shards, Fused: true, Metrics: obs.New(obs.NewRegistry())})
 			for _, name := range names {
 				if got := benchmarkDump(t, s, name, shards); got != want[name] {
 					t.Errorf("%s: shards=%d artifacts differ from serial\n--- serial ---\n%.2000s\n--- shards=%d ---\n%.2000s",
@@ -134,7 +138,7 @@ func TestShardedSuiteMatchesSerial(t *testing.T) {
 // with the shard count.
 func TestShardedRenderedTables(t *testing.T) {
 	render := func(shards int) string {
-		s := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: shards, Fused: true})
+		s := NewSuite(Config{Scale: 0.05, Workers: 1, ProfileShards: shards, Fused: true, Metrics: obs.New(obs.NewRegistry())})
 		rows, err := s.Table2()
 		if err != nil {
 			t.Fatal(err)
@@ -162,7 +166,8 @@ func TestShardedProfilerOnBenchmarkStream(t *testing.T) {
 	filter := tr.FilterByCoverage(spec.AnalyzeCoverage)
 
 	dump := func(shards int) string {
-		prof := profile.NewProfiler("li", "ref", profile.WithShards(shards))
+		prof := profile.NewProfiler("li", "ref",
+			profile.WithShards(shards), profile.WithMetrics(obs.New(obs.NewRegistry()).Profile()))
 		filter.Kept.Replay(prof)
 		p := prof.Profile()
 		defer p.Release()

@@ -118,8 +118,17 @@ func (s *Suite) figureRow(a *Artifacts, classified bool) (FigureRow, error) {
 	for _, sim := range allocSims {
 		sinks = append(sinks, sim)
 	}
-	if err := s.replayFull(a, sinks); err != nil {
+	span := s.stageSpan(a.Spec.Name, "simulate")
+	err = s.replayFull(a, sinks)
+	span.End()
+	if err != nil {
 		return row, err
+	}
+	pm := s.cfg.Metrics.Predict()
+	convSim.FlushMetrics(pm)
+	ifreeSim.FlushMetrics(pm)
+	for _, sim := range allocSims {
+		sim.FlushMetrics(pm)
 	}
 
 	row.Conventional = convSim.MispredictRate()

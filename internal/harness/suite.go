@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -86,6 +87,12 @@ type Config struct {
 	// Lines from concurrent workers may interleave, but each line is
 	// written atomically.
 	Progress io.Writer
+	// Metrics, when non-nil, instruments the whole pipeline: VM
+	// throughput, profiler events and merges, clique enumeration effort,
+	// predictor outcomes, and per-benchmark stage spans. Disabled (nil)
+	// it costs nothing; enabled it never changes any rendered result
+	// (the differential suite runs with it on).
+	Metrics *obs.Metrics
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -218,12 +225,21 @@ func (s *Suite) profileWindow(spec workload.Spec) int {
 	return window
 }
 
+// stageSpan opens a per-benchmark stage span (no-op without metrics).
+func (s *Suite) stageSpan(benchmark, stage string) *obs.Span {
+	return s.cfg.Metrics.StartSpan(obs.Name("wsd_stage", "benchmark", benchmark, "stage", stage))
+}
+
 // computeRecord is the record-then-replay path: execute once into a
 // recorder, filter the trace, and replay the filtered trace into the
 // profiler. It retains the full trace in the artifacts.
 func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Artifacts, error) {
 	s.progressf("run %s (input %s, scale %.2f)", spec.Name, input.Name, s.cfg.Scale)
-	tr, stats, err := spec.Run(workload.RunConfig{Input: input, Scale: s.cfg.Scale})
+	execSpan := s.stageSpan(spec.Name, "execute")
+	tr, stats, err := spec.Run(workload.RunConfig{
+		Input: input, Scale: s.cfg.Scale, Metrics: s.cfg.Metrics.VM(),
+	})
+	execSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", spec.Name, err)
 	}
@@ -233,10 +249,13 @@ func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Art
 	window := s.profileWindow(spec)
 	s.progressf("profile %s: %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
 		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
+	profSpan := s.stageSpan(spec.Name, "profile")
 	prof := profile.NewProfiler(spec.Name, input.Name,
-		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards))
+		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards),
+		profile.WithMetrics(s.cfg.Metrics.Profile()))
 	filter.Kept.Replay(prof)
 	prof.SetInstructions(stats.Instructions)
+	defer profSpan.End()
 
 	return &Artifacts{
 		Spec:    spec,
@@ -253,11 +272,13 @@ func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Art
 // second execution streams the filtered events straight into the
 // profiler. No event buffer is ever materialized.
 func (s *Suite) computeFused(spec workload.Spec, input workload.InputSet) (*Artifacts, error) {
-	runCfg := workload.RunConfig{Input: input, Scale: s.cfg.Scale}
+	runCfg := workload.RunConfig{Input: input, Scale: s.cfg.Scale, Metrics: s.cfg.Metrics.VM()}
 
 	s.progressf("run %s (fused pre-count, input %s, scale %.2f)", spec.Name, input.Name, s.cfg.Scale)
+	execSpan := s.stageSpan(spec.Name, "execute")
 	var freq trace.FreqCounter
 	stats, err := spec.RunInto(runCfg, &freq)
+	execSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", spec.Name, err)
 	}
@@ -274,8 +295,11 @@ func (s *Suite) computeFused(spec workload.Spec, input workload.InputSet) (*Arti
 	window := s.profileWindow(spec)
 	s.progressf("profile %s (fused): %d dynamic branches (%d static, %.2f%% analyzed, window %d)",
 		spec.Name, filter.DynamicKept, filter.StaticKept, 100*filter.Coverage(), window)
+	profSpan := s.stageSpan(spec.Name, "profile")
+	defer profSpan.End()
 	prof := profile.NewProfiler(spec.Name, input.Name,
-		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards))
+		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards),
+		profile.WithMetrics(s.cfg.Metrics.Profile()))
 	if _, err := spec.RunInto(runCfg, trace.FilterSink{Keep: keep, Sink: prof}); err != nil {
 		return nil, fmt.Errorf("harness: profiling %s: %w", spec.Name, err)
 	}
@@ -299,7 +323,9 @@ func (s *Suite) replayFull(a *Artifacts, sink vm.BranchSink) error {
 		a.Trace.Replay(sink)
 		return nil
 	}
-	if _, err := a.Spec.RunInto(workload.RunConfig{Input: a.Input, Scale: s.cfg.Scale}, sink); err != nil {
+	if _, err := a.Spec.RunInto(workload.RunConfig{
+		Input: a.Input, Scale: s.cfg.Scale, Metrics: s.cfg.Metrics.VM(),
+	}, sink); err != nil {
 		return fmt.Errorf("harness: replaying %s: %w", a.Spec.Name, err)
 	}
 	return nil
@@ -312,8 +338,9 @@ func (s *Suite) replayFiltered(a *Artifacts, sink vm.BranchSink) error {
 		a.Filter.Kept.Replay(sink)
 		return nil
 	}
-	if _, err := a.Spec.RunInto(workload.RunConfig{Input: a.Input, Scale: s.cfg.Scale},
-		trace.FilterSink{Keep: a.keep, Sink: sink}); err != nil {
+	if _, err := a.Spec.RunInto(workload.RunConfig{
+		Input: a.Input, Scale: s.cfg.Scale, Metrics: s.cfg.Metrics.VM(),
+	}, trace.FilterSink{Keep: a.keep, Sink: sink}); err != nil {
 		return fmt.Errorf("harness: replaying %s (filtered): %w", a.Spec.Name, err)
 	}
 	return nil

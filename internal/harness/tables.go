@@ -64,12 +64,15 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			return Table2Row{}, err
 		}
 		s.progressf("working sets %s", name)
+		span := s.stageSpan(name, "analyze")
 		res, err := core.Analyze(a.Profile, core.AnalysisConfig{
 			Threshold:    s.cfg.Threshold,
 			Definition:   core.MaximalCliques,
 			CliqueBudget: s.cfg.CliqueBudget,
 			Workers:      s.cfg.ProfileShards,
+			Metrics:      s.cfg.Metrics.Clique(),
 		})
+		span.End()
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("harness: analyzing %s: %w", name, err)
 		}
@@ -121,10 +124,12 @@ func (s *Suite) sizeTable(classified bool) ([]SizeRow, error) {
 			return SizeRow{}, err
 		}
 		s.progressf("required size %s (classification=%v)", sb.Label, classified)
+		span := s.stageSpan(sb.Name, "size")
 		res, err := core.RequiredBHTSize(a.Profile, s.cfg.BaselineBHT, core.AllocationConfig{
 			Threshold:         s.cfg.Threshold,
 			UseClassification: classified,
 		})
+		span.End()
 		if err != nil {
 			return SizeRow{}, fmt.Errorf("harness: sizing %s: %w", sb.Label, err)
 		}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The encoders all render the same Snapshot, so every output format
+// agrees on values and ordering. Snapshot is already name-sorted;
+// encoders must not reorder it.
+
+// WriteText renders the snapshot as a plain-text dump, one series per
+// line — the format behind the CLIs' -metrics flag.
+func WriteText(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d", h.Name, h.Count, h.Sum); err != nil {
+			return err
+		}
+		for i, b := range h.Bounds {
+			if _, err := fmt.Fprintf(w, " le%d=%d", b, h.Counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " leInf=%d\n", h.Counts[len(h.Counts)-1]); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Stages {
+		if _, err := fmt.Fprintf(w, "stage %s count=%d ns=%d alloc_bytes=%d\n",
+			st.Name, st.Count, st.Nanos, st.AllocBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonStage mirrors StagePoint with lowercase keys.
+type jsonStage struct {
+	Count      uint64 `json:"count"`
+	Nanos      uint64 `json:"ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// jsonHistogram mirrors HistogramSnapshot with lowercase keys.
+type jsonHistogram struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// WriteJSON renders the snapshot as indented JSON. Metrics become maps
+// keyed by series name; encoding/json sorts map keys, so the output is
+// deterministic.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	doc := struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+		Stages     map[string]jsonStage     `json:"stages"`
+	}{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]jsonHistogram, len(s.Histograms)),
+		Stages:     make(map[string]jsonStage, len(s.Stages)),
+	}
+	for _, c := range s.Counters {
+		doc.Counters[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		doc.Gauges[g.Name] = g.Value
+	}
+	for _, h := range s.Histograms {
+		doc.Histograms[h.Name] = jsonHistogram{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum, Count: h.Count}
+	}
+	for _, st := range s.Stages {
+		doc.Stages[st.Name] = jsonStage{Count: st.Count, Nanos: st.Nanos, AllocBytes: st.AllocBytes}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// baseName strips the {label="v",...} suffix produced by Name.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// labelSuffix returns the {...} part of a series name, or "".
+func labelSuffix(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[i:]
+	}
+	return ""
+}
+
+// withLabel appends one more label to a series name, preserving
+// canonical (sorted) label order.
+func withLabel(series, k, v string) string {
+	base := baseName(series)
+	suffix := labelSuffix(series)
+	kv := []string{k, v}
+	if suffix != "" {
+		inner := strings.TrimSuffix(strings.TrimPrefix(suffix, "{"), "}")
+		for _, part := range strings.Split(inner, ",") {
+			eq := strings.IndexByte(part, '=')
+			if eq < 0 {
+				continue
+			}
+			kv = append(kv, part[:eq], strings.Trim(part[eq+1:], `"`))
+		}
+	}
+	return Name(base, kv...)
+}
+
+// promTypeLine writes a "# TYPE" header once per base family.
+func promTypeLine(w io.Writer, emitted map[string]bool, series, kind string) error {
+	fam := baseName(series)
+	if emitted[fam] {
+		return nil
+	}
+	emitted[fam] = true
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+	return err
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format served at /metrics. Stage aggregates expand into _count,
+// _ns_total and _alloc_bytes_total series; histograms expand into the
+// classic _bucket/_sum/_count triple with cumulative le buckets.
+func WriteProm(w io.Writer, s Snapshot) error {
+	emitted := make(map[string]bool)
+	for _, c := range s.Counters {
+		if err := promTypeLine(w, emitted, c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := promTypeLine(w, emitted, g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := promTypeLine(w, emitted, h.Name, "histogram"); err != nil {
+			return err
+		}
+		base, suffix := baseName(h.Name), labelSuffix(h.Name)
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(base+"_bucket"+suffix, "le", fmt.Sprintf("%d", b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(base+"_bucket"+suffix, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, suffix, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count); err != nil {
+			return err
+		}
+	}
+	// Stages fan out into three families; group by family so every
+	// series sits under its TYPE header as the exposition format requires.
+	type series struct {
+		name, kind string
+		value      uint64
+	}
+	var expanded []series
+	for _, st := range s.Stages {
+		base, suffix := baseName(st.Name), labelSuffix(st.Name)
+		expanded = append(expanded,
+			series{base + "_count" + suffix, "counter", st.Count},
+			series{base + "_ns_total" + suffix, "counter", st.Nanos},
+			series{base + "_alloc_bytes_total" + suffix, "counter", st.AllocBytes},
+		)
+	}
+	sort.Slice(expanded, func(i, j int) bool {
+		bi, bj := baseName(expanded[i].name), baseName(expanded[j].name)
+		if bi != bj {
+			return bi < bj
+		}
+		return expanded[i].name < expanded[j].name
+	})
+	for _, sr := range expanded {
+		if err := promTypeLine(w, emitted, sr.name, sr.kind); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sr.name, sr.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

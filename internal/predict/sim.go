@@ -1,6 +1,10 @@
 package predict
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Sim drives a Predictor from a branch event stream and accumulates
 // accuracy statistics. It implements the vm.BranchSink shape, so it can
@@ -11,6 +15,11 @@ type Sim struct {
 	p           Predictor
 	branches    uint64
 	mispredicts uint64
+
+	// High-water marks of what has already been flushed to metrics, so
+	// FlushMetrics can be called repeatedly without double counting.
+	flushedBranches    uint64
+	flushedMispredicts uint64
 }
 
 // NewSim wraps p for measurement.
@@ -67,4 +76,14 @@ func (r Result) String() string {
 // Result snapshots the Sim's current statistics.
 func (s *Sim) Result() Result {
 	return Result{Name: s.p.Name(), Branches: s.branches, Mispredicts: s.mispredicts}
+}
+
+// FlushMetrics records the statistics accumulated since the previous
+// flush into m (nil is a no-op but still advances the flush marks). The
+// per-event Branch path carries no instrumentation; callers flush once
+// per simulated interval.
+func (s *Sim) FlushMetrics(m *obs.PredictMetrics) {
+	m.Record(s.branches-s.flushedBranches, s.mispredicts-s.flushedMispredicts)
+	s.flushedBranches = s.branches
+	s.flushedMispredicts = s.mispredicts
 }

@@ -1,5 +1,7 @@
 package profile
 
+import "repro/internal/obs"
+
 // Profiler consumes a branch event stream online and accumulates a
 // Profile. It implements the vm.BranchSink shape, so it can be attached
 // directly to an executing Machine or fed from a recorded trace.
@@ -42,6 +44,13 @@ type Profiler struct {
 	// scan emits pair-key increments that fan out to shard-local tables
 	// applied by worker goroutines. nil selects the serial nbrs path.
 	shards *pairShards
+
+	// metrics is the optional observability bundle; mEvents and mPairInc
+	// are its hot-path counters held directly so Branch performs at most
+	// two nil-checked atomic adds per event. All three may be nil.
+	metrics  *obs.ProfileMetrics
+	mEvents  *obs.Counter
+	mPairInc *obs.Counter
 
 	branches     uint64
 	instructions uint64
@@ -158,6 +167,13 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithMetrics attaches an observability bundle: event and pair-increment
+// counters on the hot path, shard queue metrics, and merge timings. A
+// nil bundle (the default) keeps every site a no-op.
+func WithMetrics(m *obs.ProfileMetrics) Option {
+	return func(p *Profiler) { p.metrics = m }
+}
+
 // NewProfiler returns an empty Profiler for the named benchmark run.
 func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 	p := &Profiler{
@@ -169,8 +185,16 @@ func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 	for _, o := range opts {
 		o(p)
 	}
+	if p.metrics != nil {
+		p.mEvents = p.metrics.Events
+		p.mPairInc = p.metrics.PairIncrements
+	}
 	if p.numShards > 1 {
 		p.shards = newPairShards(p.numShards)
+		if p.metrics != nil {
+			p.shards.batches = p.metrics.ShardBatches
+			p.shards.queueMax = p.metrics.ShardQueueMax
+		}
 	}
 	return p
 }
@@ -205,6 +229,7 @@ func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 		p.taken[id]++
 	}
 	p.branches++
+	p.mEvents.Inc()
 	if icount >= p.instructions {
 		p.instructions = icount + 1
 	}
@@ -233,6 +258,9 @@ func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 				nbr.add(cur)
 				depth++
 			}
+		}
+		if depth > 0 {
+			p.mPairInc.Add(uint64(depth))
 		}
 		// Unlink id (O(1) via prev/next).
 		if p.prev[id] != -1 {
@@ -300,6 +328,7 @@ func (p *Profiler) distinctPairs() int {
 // (exactly sized, so extraction never rehashes); callers done with a
 // transient profile can hand the table back via Profile.Release.
 func (p *Profiler) Profile() *Profile {
+	done := p.metrics.StartMerge()
 	var pairs *PairCounts
 	if p.shards != nil {
 		// Quiesce the shard workers, then merge the disjoint shard
@@ -327,6 +356,7 @@ func (p *Profiler) Profile() *Profile {
 		Taken:        append([]uint64(nil), p.taken...),
 		Pairs:        pairs,
 	}
+	done(pairs.Len())
 	return out
 }
 

@@ -1,6 +1,10 @@
 package profile
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Sharded pair accumulation: the profiler's hot loop emits one pair-key
 // increment per interleaving, and in sharded mode those increments fan
@@ -37,6 +41,12 @@ type pairShards struct {
 	wg      sync.WaitGroup
 	running bool
 	bufPool sync.Pool
+
+	// Optional observability (nil-safe): batches counts handed-off
+	// batches; queueMax tracks the high-water shard-channel depth, the
+	// back-pressure signal for tuning shardChanDepth.
+	batches  *obs.Counter
+	queueMax *obs.Gauge
 }
 
 func newPairShards(n int) *pairShards {
@@ -102,6 +112,8 @@ func (s *pairShards) inc(key uint64) {
 	b = append(b, key)
 	if len(b) == cap(b) {
 		s.chs[i] <- b
+		s.batches.Inc()
+		s.queueMax.SetMax(int64(len(s.chs[i])))
 		b = nil
 	}
 	s.pending[i] = b
@@ -118,6 +130,7 @@ func (s *pairShards) drain() {
 	for i, b := range s.pending {
 		if len(b) > 0 {
 			s.chs[i] <- b
+			s.batches.Inc()
 		}
 		s.pending[i] = nil
 		close(s.chs[i])

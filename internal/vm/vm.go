@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/rng"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	DataSeed uint64
 	// Sink receives conditional-branch events; nil discards them.
 	Sink BranchSink
+	// Metrics, when non-nil, receives the run's aggregate throughput
+	// totals once at completion. The fetch–execute loop itself is never
+	// instrumented, so enabling metrics costs one call per run.
+	Metrics *obs.VMMetrics
 }
 
 // Stats summarizes one execution.
@@ -113,6 +118,12 @@ func New(p *program.Program) (*Machine, error) {
 // returns execution statistics. Memory and registers are reset first, so
 // consecutive Runs are independent.
 func (m *Machine) Run(cfg Config) (Stats, error) {
+	st, err := m.run(cfg)
+	cfg.Metrics.RecordRun(st.Instructions, st.CondBranches, st.Taken)
+	return st, err
+}
+
+func (m *Machine) run(cfg Config) (Stats, error) {
 	for i := range m.mem {
 		m.mem[i] = 0
 	}

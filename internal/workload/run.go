@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -17,6 +18,9 @@ type RunConfig struct {
 	// MaxInstructions optionally truncates the run, mirroring the
 	// paper's 500M-instruction cap; 0 means unlimited.
 	MaxInstructions uint64
+	// Metrics, when non-nil, receives the VM's aggregate throughput
+	// totals for the run.
+	Metrics *obs.VMMetrics
 }
 
 func (c RunConfig) input() InputSet {
@@ -57,6 +61,7 @@ func (s Spec) RunInto(cfg RunConfig, sink vm.BranchSink) (vm.Stats, error) {
 		MaxInstructions: cfg.MaxInstructions,
 		DataSeed:        input.Seed,
 		Sink:            sink,
+		Metrics:         cfg.Metrics,
 	})
 }
 
