@@ -9,9 +9,15 @@
 //
 //	allocate -bench li [-size 128] [-classify] [-find-size]
 //	         [-baseline 1024] [-inputs ref,a,b]
+//	allocate -static -bench li [-size 128] ...
 //
 // Passing several -inputs merges their profiles first (the paper's
 // cumulative-profile approach, Section 5.2).
+//
+// With -static no profile run happens: the conflict graph, execution
+// weights, and bias classes come from the compile-time estimate
+// (package staticws), and the same coloring, verification, and size
+// search run on that estimate.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/staticws"
 	"repro/internal/workload"
 )
 
@@ -74,6 +81,7 @@ func main() {
 		check     = flag.Bool("check", false, "verify artifact invariants (conflict graph, allocation); non-zero exit on violation")
 		corrupt   = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or alloc); implies -check")
 		metrics   = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
+		static    = flag.Bool("static", false, "allocate from the compile-time estimate (no profile run)")
 	)
 	flag.Parse()
 	if *corrupt != "" {
@@ -83,13 +91,13 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt, reg); err != nil {
+	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt, *static, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "allocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string, reg *obs.Registry) error {
+func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string, static bool, reg *obs.Registry) error {
 	if bench == "" {
 		return fmt.Errorf("need -bench")
 	}
@@ -99,42 +107,67 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 	}
 	m := obs.New(reg)
 
-	var profiles []*profile.Profile
-	for _, name := range strings.Split(inputs, ",") {
-		var in workload.InputSet
-		switch strings.TrimSpace(name) {
-		case "ref":
-			in = workload.InputRef
+	var prof *profile.Profile
+	if static {
+		in := workload.InputRef
+		switch strings.TrimSpace(inputs) {
+		case "ref", "":
 		case "a":
 			in = workload.InputA
 		case "b":
 			in = workload.InputB
 		default:
-			return fmt.Errorf("unknown input set %q", name)
+			return fmt.Errorf("-static uses one input set's program (got %q)", inputs)
 		}
-		if shards <= 0 {
-			shards = runtime.GOMAXPROCS(0)
-		}
-		opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
-		if window > 0 {
-			opts = append(opts, profile.WithWindow(window))
-		}
-		prof := profile.NewProfiler(bench, in.Name, opts...)
-		stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()}, prof)
+		prog, err := spec.Build(in, scale)
 		if err != nil {
 			return err
 		}
-		prof.SetInstructions(stats.Instructions)
-		profiles = append(profiles, prof.Profile())
-		fmt.Printf("profiled %s/%s: %d dynamic branches, %d static\n",
-			bench, in.Name, stats.CondBranches, profiles[len(profiles)-1].NumBranches())
-	}
-	prof, err := profile.Merge(profiles...)
-	if err != nil {
-		return err
-	}
-	if len(profiles) > 1 {
-		fmt.Printf("merged %d profiles: %d static branches\n", len(profiles), prof.NumBranches())
+		est, err := staticws.Analyze(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("static analysis of %s: no profile run\n", prog.Name)
+		fmt.Println(est.Describe())
+		prof = est.Profile
+	} else {
+		var profiles []*profile.Profile
+		for _, name := range strings.Split(inputs, ",") {
+			var in workload.InputSet
+			switch strings.TrimSpace(name) {
+			case "ref":
+				in = workload.InputRef
+			case "a":
+				in = workload.InputA
+			case "b":
+				in = workload.InputB
+			default:
+				return fmt.Errorf("unknown input set %q", name)
+			}
+			if shards <= 0 {
+				shards = runtime.GOMAXPROCS(0)
+			}
+			opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
+			if window > 0 {
+				opts = append(opts, profile.WithWindow(window))
+			}
+			p := profile.NewProfiler(bench, in.Name, opts...)
+			stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()}, p)
+			if err != nil {
+				return err
+			}
+			p.SetInstructions(stats.Instructions)
+			profiles = append(profiles, p.Profile())
+			fmt.Printf("profiled %s/%s: %d dynamic branches, %d static\n",
+				bench, in.Name, stats.CondBranches, profiles[len(profiles)-1].NumBranches())
+		}
+		prof, err = profile.Merge(profiles...)
+		if err != nil {
+			return err
+		}
+		if len(profiles) > 1 {
+			fmt.Printf("merged %d profiles: %d static branches\n", len(profiles), prof.NumBranches())
+		}
 	}
 
 	if useClass {

@@ -2,15 +2,21 @@
 // parses a Go coverprofile, computes statement coverage per package and
 // in total, and compares the total against a committed baseline:
 //
-//	go test -coverprofile=cover.out ./...
-//	go run ./cmd/covergate -profile cover.out -baseline COVERAGE.baseline
+//	go run ./cmd/covergate -gen ./... -baseline COVERAGE.baseline
+//
+// -gen runs `go test -coverprofile` itself, writing the profile into a
+// temporary directory that is removed on exit, so no coverage artifact
+// can land in the working tree (and get committed by accident). Pass
+// -keep-profile to also copy the generated profile somewhere for
+// downstream tools like `go tool cover -html`. A pre-existing profile
+// can still be gated directly with -profile.
 //
 // The gate fails (exit 1) when total coverage drops more than -slack
 // percentage points below the baseline, so refactors cannot silently
 // shed tests. Regenerate the baseline after intentionally changing
 // coverage:
 //
-//	go run ./cmd/covergate -profile cover.out -write COVERAGE.baseline
+//	go run ./cmd/covergate -gen ./... -write COVERAGE.baseline
 //
 // The baseline file records per-package percentages too; those lines
 // are informational (total is what gates) but make coverage drift
@@ -23,7 +29,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,16 +39,70 @@ import (
 
 func main() {
 	var (
-		profilePath = flag.String("profile", "cover.out", "coverprofile produced by go test -coverprofile")
+		profilePath = flag.String("profile", "", "pre-existing coverprofile to gate (alternative to -gen)")
+		gen         = flag.String("gen", "", "run `go test -coverprofile` on this package pattern (e.g. ./...) into a temp dir and gate the result")
+		keep        = flag.String("keep-profile", "", "with -gen, also copy the generated profile to this path for downstream tools")
 		baseline    = flag.String("baseline", "", "committed baseline file to gate against")
 		write       = flag.String("write", "", "write a fresh baseline to this file and exit")
 		slack       = flag.Float64("slack", 1.0, "allowed drop below baseline total, in percentage points")
 	)
 	flag.Parse()
-	if err := run(*profilePath, *baseline, *write, *slack, os.Stdout); err != nil {
+	profile := *profilePath
+	if *gen != "" {
+		if profile != "" {
+			fmt.Fprintln(os.Stderr, "covergate: -gen and -profile are mutually exclusive")
+			os.Exit(1)
+		}
+		p, cleanup, err := generateProfile(*gen, *keep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covergate:", err)
+			os.Exit(1)
+		}
+		defer cleanup()
+		profile = p
+	}
+	if profile == "" {
+		fmt.Fprintln(os.Stderr, "covergate: need -profile or -gen")
+		os.Exit(1)
+	}
+	if err := run(profile, *baseline, *write, *slack, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "covergate:", err)
 		os.Exit(1)
 	}
+}
+
+// generateProfile runs `go test -coverprofile` on pattern with the
+// profile in a fresh temp directory — never the working tree — and
+// returns the profile path plus a cleanup func removing the directory.
+// When keep is non-empty the profile is also copied there for tools
+// that want it after the gate (e.g. go tool cover -html).
+func generateProfile(pattern, keep string) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "covergate-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { _ = os.RemoveAll(dir) }
+	profile := filepath.Join(dir, "cover.out")
+	cmd := exec.Command("go", "test", "-coverprofile="+profile, pattern)
+	// Test chatter goes to stderr so the gate report on stdout stays
+	// machine-readable.
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("go test -coverprofile %s: %w", pattern, err)
+	}
+	if keep != "" {
+		data, err := os.ReadFile(profile)
+		if err == nil {
+			err = os.WriteFile(keep, data, 0o644)
+		}
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+	}
+	return profile, cleanup, nil
 }
 
 // pkgCov accumulates statement counts for one package.

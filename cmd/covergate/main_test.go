@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -85,6 +86,24 @@ func TestGatePassAndFail(t *testing.T) {
 	err := run(profile2, baseline, "", 1.0, &out)
 	if err == nil || !strings.Contains(err.Error(), "below baseline") {
 		t.Fatalf("gate passed on dropped coverage (err=%v)", err)
+	}
+}
+
+// TestGenerateProfileBadPattern asserts the -gen path surfaces go test
+// failures and leaves nothing behind in the working directory.
+func TestGenerateProfileBadPattern(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := generateProfile("./does-not-exist", ""); err == nil {
+		t.Fatal("generateProfile succeeded on a nonexistent package")
+	}
+	if _, err := os.Stat(filepath.Join(wd, "cover.out")); !os.IsNotExist(err) {
+		t.Fatalf("cover.out appeared in the working directory (stat err=%v)", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command reprolint runs the repository's static-analysis passes (see
-// internal/lint) over the module: determinism (no map-iteration order
-// or ambient entropy in artifacts), unchecked errors in internal/ and
+// internal/lint) over the module: determinism and looporder (no map
+// iteration order or ambient entropy in artifacts, directly or through
+// a taint chain to an output sink), unchecked errors in internal/ and
 // cmd/, and config hygiene (no restated experiment defaults).
 //
 // Usage:

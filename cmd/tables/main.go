@@ -5,9 +5,12 @@
 // Usage:
 //
 //	tables [-scale f] [-table n] [-figure n] [-markdown] [-quiet]
-//	       [-workers n] [-shards n] [-fused] [-cpuprofile f] [-memprofile f]
+//	       [-workers n] [-shards n] [-fused] [-static]
+//	       [-cpuprofile f] [-memprofile f]
 //
-// Without -table/-figure it runs everything. -markdown emits
+// Without -table/-figure it runs everything. -static runs the
+// static-vs-profiled comparison (compile-time working-set estimation,
+// no profile run feeding the allocator). -markdown emits
 // GitHub-style tables suitable for EXPERIMENTS.md. Benchmarks run
 // concurrently (-workers, default GOMAXPROCS) and, by default, in fused
 // streaming mode (-fused=false restores record-then-replay); the
@@ -36,6 +39,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		budget     = flag.Int("clique-budget", 0, "maximal-clique enumeration budget (0 = default)")
 		ablation   = flag.Bool("ablations", false, "also run the ablation studies (threshold, definition, grouped, window)")
+		static     = flag.Bool("static", false, "run the static-vs-profiled comparison (profile-free allocation from the compile-time estimate)")
 		extras     = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
 		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
 		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
@@ -82,9 +86,10 @@ func main() {
 		Fused:         *fused,
 		Progress:      progress,
 		Metrics:       obs.New(reg),
+		Static:        *static,
 	})
 
-	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras
+	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras && !*static
 	// Progress timing goes to stderr and never into a table; the clock
 	// comes from obs so the wall-clock read stays in one sanctioned place.
 	clock := obs.SystemClock()
@@ -101,6 +106,14 @@ func main() {
 	}
 	if *extras {
 		if err := harness.RunExtras(suite, os.Stdout, *markdown); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+	// RunAll already appends the static section when it ran (the suite
+	// is configured with Static); a filtered invocation runs it here.
+	if *static && !runAll {
+		if err := harness.RunStatic(suite, os.Stdout, *markdown); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}

@@ -8,9 +8,15 @@
 //	          [-top n] [-cpuprofile f] [-memprofile f]
 //	wsanalyze -trace file.bwt [-threshold n] ...
 //	wsanalyze -program file.s [-input ref] ...
+//	wsanalyze -static -bench gcc ...
 //
 // It prints the working-set summary (the benchmark's Table 2 row) and
 // the largest sets, and can dump the recorded trace with -save.
+//
+// With -static the program is never executed: working sets come from
+// the compile-time conflict estimate (package staticws) built on the
+// program's CFG and loop nest, and the same analysis, checks, and
+// report run on that estimate.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/program"
+	"repro/internal/staticws"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -48,6 +55,7 @@ func main() {
 		check       = flag.Bool("check", false, "verify artifact invariants (conflict graph, working sets); non-zero exit on violation")
 		corrupt     = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or sets); implies -check")
 		metrics     = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
+		static      = flag.Bool("static", false, "analyze the program at compile time (CFG/loop-nest estimate) instead of executing it")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -85,7 +93,7 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, reg); err != nil {
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, *static, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -197,7 +205,35 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	return tr, coverage, nil
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, reg *obs.Registry) error {
+// staticProgram loads the program for compile-time analysis: a parsed
+// assembly file with -program, or the built benchmark program.
+func staticProgram(bench, input string, scale float64, programFile string) (*program.Program, error) {
+	if programFile != "" {
+		f, err := os.Open(programFile)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := program.Parse(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return prog, err
+	}
+	if bench == "" {
+		return nil, fmt.Errorf("need -bench or -program (try -list)")
+	}
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	in, err := inputSet(input)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(in, scale)
+}
+
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, static bool, reg *obs.Registry) error {
 	var def core.SetDefinition
 	switch definition {
 	case "cliques":
@@ -208,31 +244,55 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		return fmt.Errorf("unknown definition %q (want cliques or partition)", definition)
 	}
 	m := obs.New(reg)
-
-	tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage, m)
-	if err != nil {
-		return err
-	}
-
-	filter := tr.FilterByCoverage(cov)
-	fmt.Printf("benchmark %s (input %s): %d dynamic branches, %d static\n",
-		tr.Benchmark, tr.InputSet, filter.DynamicTotal, filter.StaticTotal)
-	fmt.Printf("analyzed: %d dynamic (%.2f%%), %d static\n",
-		filter.DynamicKept, 100*filter.Coverage(), filter.StaticKept)
-
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
-	if window > 0 {
-		opts = append(opts, profile.WithWindow(window))
-		fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
+	if threshold == 0 {
+		threshold = core.DefaultThreshold
 	}
-	prof := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
-	filter.Kept.Replay(prof)
-	prof.SetInstructions(tr.Instructions)
 
-	res, err := core.Analyze(prof.Profile(), core.AnalysisConfig{
+	var prof *profile.Profile
+	if static {
+		if traceFile != "" {
+			return fmt.Errorf("-static analyzes a program, not a recorded trace")
+		}
+		prog, err := staticProgram(bench, input, scale, programFile)
+		if err != nil {
+			return err
+		}
+		est, err := staticws.Analyze(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("benchmark %s: compile-time analysis, no execution\n", prog.Name)
+		fmt.Println(est.CFG)
+		fmt.Printf("loops: %d\n", len(est.Forest.Loops))
+		fmt.Println(est.Describe())
+		prof = est.Profile
+	} else {
+		tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage, m)
+		if err != nil {
+			return err
+		}
+
+		filter := tr.FilterByCoverage(cov)
+		fmt.Printf("benchmark %s (input %s): %d dynamic branches, %d static\n",
+			tr.Benchmark, tr.InputSet, filter.DynamicTotal, filter.StaticTotal)
+		fmt.Printf("analyzed: %d dynamic (%.2f%%), %d static\n",
+			filter.DynamicKept, 100*filter.Coverage(), filter.StaticKept)
+
+		opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
+		if window > 0 {
+			opts = append(opts, profile.WithWindow(window))
+			fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
+		}
+		p := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
+		filter.Kept.Replay(p)
+		p.SetInstructions(tr.Instructions)
+		prof = p.Profile()
+	}
+
+	res, err := core.Analyze(prof, core.AnalysisConfig{
 		Threshold:  threshold,
 		Definition: def,
 		Workers:    shards,

@@ -68,7 +68,7 @@ func checkGolden(t *testing.T, name, got string) {
 // statistics, and top sets.
 func TestGoldenProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, nil)
 	})
 	checkGolden(t, "program.golden", out)
 }
@@ -79,7 +79,7 @@ func TestGoldenProgram(t *testing.T) {
 func TestGoldenProgramSharded(t *testing.T) {
 	for _, shards := range []int{2, 3, 7} {
 		out := captureStdout(t, func() error {
-			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", nil)
+			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", false, nil)
 		})
 		checkGolden(t, "program.golden", out)
 	}
@@ -90,7 +90,7 @@ func TestGoldenProgramSharded(t *testing.T) {
 // artifact.
 func TestGoldenProgramCheck(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", false, nil)
 	})
 	checkGolden(t, "program_check.golden", out)
 }
@@ -99,7 +99,7 @@ func TestGoldenProgramCheck(t *testing.T) {
 // definition (-definition partition).
 func TestGoldenProgramPartition(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", false, nil)
 	})
 	checkGolden(t, "program_partition.golden", out)
 }
@@ -109,7 +109,7 @@ func TestGoldenProgramPartition(t *testing.T) {
 func TestGoldenBench(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		out := captureStdout(t, func() error {
-			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", nil)
+			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", false, nil)
 		})
 		checkGolden(t, "bench_li.golden", out)
 	}
@@ -130,9 +130,38 @@ func TestGoldenProgramMetrics(t *testing.T) {
 		obs.WithMemSource(func() uint64 { return 0 }),
 	)
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", reg)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, reg)
 	})
 	checkGolden(t, "program_metrics.golden", out)
+}
+
+// TestGoldenStaticProgram locks down the -static report for the fixture
+// program: compile-time header, CFG/loop summary, static estimate line,
+// and the working-set report over the static conflict graph. Threshold
+// 0 selects the default, which the static weight model targets.
+func TestGoldenStaticProgram(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, nil)
+	})
+	checkGolden(t, "program_static.golden", out)
+}
+
+// TestGoldenStaticBench covers -static -bench with -check: the built li
+// program analyzed at compile time, with the verifier line in place.
+func TestGoldenStaticBench(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("li", "ref", 0.05, "", "", "", 0, 0, 1, "cliques", 3, 0, true, "", true, nil)
+	})
+	checkGolden(t, "bench_li_static.golden", out)
+}
+
+// TestStaticRejectsTrace: a recorded trace has no program structure to
+// analyze statically.
+func TestStaticRejectsTrace(t *testing.T) {
+	err := run("", "ref", 1.0, "some.bwt", "", "", 0, 0, 1, "cliques", 3, 0, false, "", true, nil)
+	if err == nil {
+		t.Fatal("-static -trace unexpectedly succeeded")
+	}
 }
 
 // TestCorruptFailsCheck is the negative control: a seeded corruption
@@ -145,7 +174,7 @@ func TestCorruptFailsCheck(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = devnull
-		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, nil)
+		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, false, nil)
 		os.Stdout = old
 		if cerr := devnull.Close(); cerr != nil {
 			t.Fatal(cerr)

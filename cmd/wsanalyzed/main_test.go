@@ -156,6 +156,50 @@ func TestRoundTripMatchesHarness(t *testing.T) {
 	}
 }
 
+// TestStaticMode covers the profile-free experiment end to end through
+// the service, submitted via the ?mode=static query alias, and checks
+// the result against a direct harness run.
+func TestStaticMode(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 2))
+
+	resp, body := postJSON(t, ts.URL+"/analyze?mode=static", analyzeRequest{Scale: 0.05})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	j := poll(t, ts, acc.ID)
+	if j.Status != "done" {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+	if j.Req.Kind != "static" {
+		t.Errorf("recorded kind = %q, want static (the ?mode alias must stick)", j.Req.Kind)
+	}
+
+	direct := harness.NewSuite(harness.Config{Scale: 0.05, Fused: true})
+	var want bytes.Buffer
+	if err := harness.RunStatic(direct, &want, false); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != want.String() {
+		t.Errorf("service result differs from direct harness run (%d vs %d bytes)",
+			len(j.Result), want.Len())
+	}
+
+	// A body kind conflicting with the query alias is rejected; so is an
+	// unknown mode.
+	if resp, _ := postJSON(t, ts.URL+"/analyze?mode=static", analyzeRequest{Kind: "all"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting kind/mode: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/analyze?mode=bogus", analyzeRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mode: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestConcurrentSubmissions floods the service with more jobs than its
 // concurrency bound and checks every one completes correctly — CI runs
 // this under -race, so the job table and counter synchronization are

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -18,7 +19,10 @@ import (
 // `tables` exactly.
 type analyzeRequest struct {
 	// Kind selects the experiment: "all" (default), "table", "figure",
-	// "ablations", or "extras".
+	// "ablations", "extras", or "static" (the profile-free
+	// static-vs-profiled comparison). The query parameter ?mode= is an
+	// alias for Kind, so `POST /analyze?mode=static` with an empty body
+	// works too.
 	Kind string `json:"kind"`
 	// Table (1-4) and Figure (3-4) select the numbered experiment for
 	// kind "table" / "figure".
@@ -38,7 +42,7 @@ type analyzeRequest struct {
 
 func (r *analyzeRequest) validate() error {
 	switch r.Kind {
-	case "", "all", "ablations", "extras":
+	case "", "all", "ablations", "extras", "static":
 	case "table":
 		if r.Table < 1 || r.Table > 4 {
 			return fmt.Errorf("kind %q needs table 1-4, got %d", r.Kind, r.Table)
@@ -48,7 +52,7 @@ func (r *analyzeRequest) validate() error {
 			return fmt.Errorf("kind %q needs figure 3 or 4, got %d", r.Kind, r.Figure)
 		}
 	default:
-		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras)", r.Kind)
+		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static)", r.Kind)
 	}
 	return nil
 }
@@ -84,6 +88,8 @@ func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
 		err = harness.RunAblations(suite, &buf, req.Markdown)
 	case "extras":
 		err = harness.RunExtras(suite, &buf, req.Markdown)
+	case "static":
+		err = harness.RunStatic(suite, &buf, req.Markdown)
 	default:
 		err = fmt.Errorf("unknown kind %q", req.Kind)
 	}
@@ -192,9 +198,18 @@ type errorBody struct {
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
+	}
+	// ?mode= is a body-free alias for Kind (e.g. POST /analyze?mode=static).
+	if mode := r.URL.Query().Get("mode"); mode != "" {
+		if req.Kind != "" && req.Kind != mode {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("kind %q in body conflicts with ?mode=%s", req.Kind, mode)})
+			return
+		}
+		req.Kind = mode
 	}
 	if err := req.validate(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})

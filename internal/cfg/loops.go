@@ -1,0 +1,162 @@
+package cfg
+
+import "sort"
+
+// Loop is one natural loop: the union of the bodies of all back edges
+// sharing a header.
+type Loop struct {
+	// ID is the loop's dense index in Forest.Loops.
+	ID int
+	// Fn is the owning function's ID.
+	Fn int
+	// Header is the global block ID of the loop header.
+	Header int
+	// Blocks are the global block IDs of the body (header included),
+	// sorted.
+	Blocks []int
+	// Latches are the global block IDs of back-edge sources, sorted.
+	Latches []int
+	// Parent is the ID of the innermost enclosing loop in the same
+	// function, or -1 for a root loop.
+	Parent int
+	// Children are the IDs of directly nested loops.
+	Children []int
+	// Depth is the intraprocedural nesting depth: 1 for a root loop.
+	Depth int
+}
+
+// Contains reports whether global block ID b is in the loop body.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Forest is the loop structure of a whole program: every natural loop
+// of every function, with intraprocedural nesting resolved.
+type Forest struct {
+	Loops []*Loop
+	// innermost[blockID] is the ID of the innermost loop containing the
+	// block, or -1.
+	innermost []int
+}
+
+// InnermostAt returns the innermost loop containing global block ID b,
+// or nil when b is loop-free.
+func (f *Forest) InnermostAt(b int) *Loop {
+	if id := f.innermost[b]; id >= 0 {
+		return f.Loops[id]
+	}
+	return nil
+}
+
+// LoopForest discovers every natural loop of every function: for each
+// back edge u->h (h dominates u), the body is h plus every block that
+// reaches u without passing through h. Back edges sharing a header
+// merge into one loop, as in standard loop analysis.
+func (g *Graph) LoopForest() *Forest {
+	f := &Forest{innermost: make([]int, len(g.Blocks))}
+	for i := range f.innermost {
+		f.innermost[i] = -1
+	}
+
+	for _, fn := range g.Funcs {
+		dom := g.Dominators(fn)
+
+		// Collect back edges grouped by header, in block order so loop
+		// IDs are deterministic.
+		latchesOf := make(map[int][]int)
+		var headers []int
+		for _, b := range fn.Blocks {
+			for _, s := range g.Blocks[b].Succs {
+				if g.Blocks[s].Fn == fn.ID && dom.Dominates(s, b) {
+					if latchesOf[s] == nil {
+						headers = append(headers, s)
+					}
+					latchesOf[s] = append(latchesOf[s], b)
+				}
+			}
+		}
+		sort.Ints(headers)
+
+		// Local predecessors for the body walk.
+		preds := make(map[int][]int, len(fn.Blocks))
+		for _, b := range fn.Blocks {
+			for _, s := range g.Blocks[b].Succs {
+				if g.Blocks[s].Fn == fn.ID {
+					preds[s] = append(preds[s], b)
+				}
+			}
+		}
+
+		var fnLoops []*Loop
+		for _, h := range headers {
+			body := map[int]bool{h: true}
+			stack := []int{}
+			for _, u := range latchesOf[h] {
+				if !body[u] {
+					body[u] = true
+					stack = append(stack, u)
+				}
+			}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range preds[b] {
+					if !body[p] {
+						body[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			blocks := make([]int, 0, len(body))
+			for b := range body {
+				blocks = append(blocks, b)
+			}
+			sort.Ints(blocks)
+			latches := append([]int(nil), latchesOf[h]...)
+			sort.Ints(latches)
+			l := &Loop{ID: len(f.Loops), Fn: fn.ID, Header: h, Blocks: blocks, Latches: latches, Parent: -1}
+			f.Loops = append(f.Loops, l)
+			fnLoops = append(fnLoops, l)
+		}
+
+		// Nesting within the function: loop A is nested in B when B
+		// contains A's header and A != B. The innermost such B (the
+		// smallest containing body) is the parent.
+		for _, a := range fnLoops {
+			for _, b := range fnLoops {
+				if a == b || !b.Contains(a.Header) {
+					continue
+				}
+				if a.Parent < 0 || len(b.Blocks) < len(f.Loops[a.Parent].Blocks) {
+					a.Parent = b.ID
+				}
+			}
+		}
+		for _, l := range fnLoops {
+			if l.Parent >= 0 {
+				f.Loops[l.Parent].Children = append(f.Loops[l.Parent].Children, l.ID)
+			}
+		}
+		// Depths top-down: roots first, then children; loop nesting is
+		// acyclic so a simple fixpoint over the small per-function list
+		// settles in nesting-depth passes.
+		for _, l := range fnLoops {
+			l.Depth = 1
+			for p := l.Parent; p >= 0; p = f.Loops[p].Parent {
+				l.Depth++
+			}
+		}
+		// Innermost loop per block: the containing loop with the
+		// greatest depth (bodies nest, so depth breaks ties exactly).
+		for _, l := range fnLoops {
+			for _, b := range l.Blocks {
+				cur := f.innermost[b]
+				if cur < 0 || f.Loops[cur].Depth < l.Depth {
+					f.innermost[b] = l.ID
+				}
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,181 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+// buildNestedLoopProgram builds a doubly nested counted loop:
+//
+//	main:   li r1, 4
+//	outer:  li r2, 3
+//	inner:  rand r3
+//	        bgez r3, skip
+//	        nop
+//	skip:   addi r2, r2, -1
+//	        bne r2, zero, inner
+//	        addi r1, r1, -1
+//	        bne r1, zero, outer
+//	        halt
+func buildNestedLoopProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("nested")
+	outer := b.NewLabel()
+	inner := b.NewLabel()
+	skip := b.NewLabel()
+
+	b.LoadImm(1, 4)
+	b.Bind(outer)
+	b.LoadImm(2, 3)
+	b.Bind(inner)
+	b.Rand(3)
+	b.Bgez(3, skip)
+	b.Nop()
+	b.Bind(skip)
+	b.AddI(2, 2, -1)
+	b.Bne(2, isa.RZero, inner)
+	b.AddI(1, 1, -1)
+	b.Bne(1, isa.RZero, outer)
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoopForestNesting(t *testing.T) {
+	p := buildNestedLoopProgram(t)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.LoopForest()
+	if len(f.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2 (outer + inner)\n%s", len(f.Loops), g)
+	}
+
+	var outer, inner *Loop
+	for _, l := range f.Loops {
+		switch l.Depth {
+		case 1:
+			outer = l
+		case 2:
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("depths = [%d %d], want one loop at depth 1 and one at depth 2",
+			f.Loops[0].Depth, f.Loops[1].Depth)
+	}
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want outer %d", inner.Parent, outer.ID)
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner.ID {
+		t.Errorf("outer.Children = %v, want [%d]", outer.Children, inner.ID)
+	}
+	if outer.Parent != -1 {
+		t.Errorf("outer.Parent = %d, want -1", outer.Parent)
+	}
+
+	// The outer body must strictly contain the inner body.
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Errorf("outer body %d blocks, inner %d: outer must be strictly larger",
+			len(outer.Blocks), len(inner.Blocks))
+	}
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("inner block %d not contained in outer body", b)
+		}
+	}
+
+	// InnermostAt: the inner header resolves to the inner loop; the
+	// outer header (not in the inner body) resolves to the outer loop.
+	if got := f.InnermostAt(inner.Header); got != inner {
+		t.Errorf("InnermostAt(inner header) = %v, want the inner loop", got)
+	}
+	if got := f.InnermostAt(outer.Header); got != outer {
+		t.Errorf("InnermostAt(outer header) = %v, want the outer loop", got)
+	}
+
+	// The forward skip branch inside the inner body is innermost-inner.
+	for i, in := range p.Code {
+		if in.Op == isa.OpBgez {
+			if got := f.InnermostAt(g.BlockOf(i).ID); got != inner {
+				t.Errorf("skip branch at %d: innermost loop = %v, want inner", i, got)
+			}
+		}
+	}
+
+	// Each loop's latch ends in the Bne back edge to its header.
+	for _, l := range f.Loops {
+		if len(l.Latches) != 1 {
+			t.Fatalf("loop %d has %d latches, want 1", l.ID, len(l.Latches))
+		}
+		latch := g.Blocks[l.Latches[0]]
+		if p.Code[latch.Terminator()].Op != isa.OpBne {
+			t.Errorf("loop %d latch terminator = %s, want bne", l.ID, p.Code[latch.Terminator()])
+		}
+	}
+}
+
+func TestLoopForestStraightLine(t *testing.T) {
+	b := program.NewBuilder("straight")
+	b.LoadImm(1, 1)
+	b.AddI(1, 1, 1)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.LoopForest()
+	if len(f.Loops) != 0 {
+		t.Fatalf("straight-line program reported %d loops, want 0", len(f.Loops))
+	}
+	for _, blk := range g.Blocks {
+		if f.InnermostAt(blk.ID) != nil {
+			t.Errorf("block %d reported inside a loop", blk.ID)
+		}
+	}
+}
+
+// TestWorkloadLoops checks the generated benchmarks' known loop shape:
+// every scene has exactly one rotation loop, all loops are depth 1, and
+// every loop's latch is the scene's decrement-and-branch.
+func TestWorkloadLoops(t *testing.T) {
+	spec, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build(workload.InputRef, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.LoopForest()
+	if len(f.Loops) == 0 {
+		t.Fatal("no loops found in generated benchmark; scene rotation loops expected")
+	}
+	for _, l := range f.Loops {
+		if l.Depth != 1 {
+			t.Errorf("loop %d depth = %d; generated scenes only nest one deep", l.ID, l.Depth)
+		}
+		for _, latch := range l.Latches {
+			term := g.Blocks[latch].Terminator()
+			if op := p.Code[term].Op; op != isa.OpBne {
+				t.Errorf("loop %d latch ends in %v, want the scene's bne", l.ID, op)
+			}
+		}
+	}
+}

@@ -93,6 +93,10 @@ type Config struct {
 	// it costs nothing; enabled it never changes any rendered result
 	// (the differential suite runs with it on).
 	Metrics *obs.Metrics
+	// Static appends the static-vs-profiled comparison (profile-free
+	// allocation from the compile-time estimate, package staticws) to
+	// RunAll output.
+	Static bool
 }
 
 // Defaults fills unset fields with the paper's parameters.

@@ -5,7 +5,9 @@
 //
 //   - determinism: artifact-producing code must not let map iteration
 //     order or ambient entropy (time, math/rand) leak into results
-//     (pass "determinism" and pass "entropy");
+//     (pass "determinism" and pass "entropy"); pass "looporder" extends
+//     this with a taint walk catching map-range-derived values that
+//     reach an output sink after the loop without a sort;
 //
 //   - unchecked errors: error returns in internal/ and cmd/ must be
 //     consumed or explicitly discarded with `_ =` (pass "errcheck");
@@ -70,6 +72,7 @@ type pass struct {
 // passes is the registry, in reporting order.
 var passes = []pass{
 	{"determinism", checkRangeMap},
+	{"looporder", checkLoopOrder},
 	{"entropy", checkEntropy},
 	{"errcheck", checkErrors},
 	{"confighygiene", checkConfig},

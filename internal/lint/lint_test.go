@@ -157,6 +157,93 @@ func GoodConstantPrint(m map[string]int) {
 	expect(t, findings, map[int]string{12: "determinism", 18: "determinism", 24: "determinism"})
 }
 
+func TestLoopOrderFlagsDeferredSinks(t *testing.T) {
+	findings := lintFixture(t, "repro/internal/fixture", `package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func BadCollectPrint(m map[string]int) {
+	var keys []string
+	for k := range m { // line 10: tainted slice printed below
+		keys = append(keys, k)
+	}
+	fmt.Println(keys)
+}
+
+func BadDerivedRange(m map[string]int) {
+	var keys []string
+	for k := range m { // line 18: taint flows through the second range
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+func BadConcat(m map[string]int, out *fmt.Stringer) string {
+	s := ""
+	for k := range m { // line 28: string concatenation is ordered
+		s += k
+	}
+	fmt.Print(s)
+	return s
+}
+
+func GoodSorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+func GoodCounter(m map[string]int) {
+	n := 0
+	for _, v := range m {
+		n += v // scalar accumulation is order-insensitive
+	}
+	fmt.Println(n)
+}
+
+func GoodKeyed(m map[string]int) {
+	inv := make(map[int]string)
+	for k, v := range m {
+		inv[v] = k // keyed write: order-insensitive
+	}
+	fmt.Println(len(inv))
+}
+
+func GoodUnrelated(m map[string]int, names []string) {
+	for k := range m {
+		_ = k
+	}
+	fmt.Println(names) // not derived from the range
+}
+`)
+	expect(t, findings, map[int]string{10: "looporder", 18: "looporder", 28: "looporder"})
+}
+
+func TestLoopOrderAllowComment(t *testing.T) {
+	findings := lintFixture(t, "repro/internal/fixture", `package fixture
+
+import "fmt"
+
+func Audited(m map[string]int) {
+	var keys []string
+	//reprolint:allow looporder diagnostic dump, order irrelevant
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys)
+}
+`)
+	expect(t, findings, map[int]string{})
+}
+
 func TestEntropyFlagsRandAndWallClock(t *testing.T) {
 	findings := lintFixture(t, "repro/internal/fixture", `package fixture
 
@@ -293,7 +380,7 @@ func WrongPass() int64 {
 
 func TestPassNames(t *testing.T) {
 	names := strings.Join(lint.PassNames(), " ")
-	for _, want := range []string{"determinism", "entropy", "errcheck", "confighygiene"} {
+	for _, want := range []string{"determinism", "looporder", "entropy", "errcheck", "confighygiene"} {
 		if !strings.Contains(names, want) {
 			t.Errorf("pass %q not registered (have: %s)", want, names)
 		}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkLoopOrder is the looporder pass: it extends the determinism pass
+// with a simple intra-function taint walk. The determinism pass flags
+// order-sensitive effects *inside* a map-range body; looporder catches
+// the deferred variant — values derived from a map range accumulate in
+// an order-sensitive local (slice, string), and the local reaches an
+// output sink (fmt print, Write* method) *after* the loop without an
+// intervening sort. The finding is reported on the range statement,
+// which is where a //reprolint:allow looporder audit belongs.
+//
+// Taint propagation is deliberately simple: the loop's key and value
+// variables seed the set; assignments whose right side mentions a
+// tainted variable taint order-sensitive left sides; ranging over a
+// tainted value taints that loop's variables (elements of an unordered
+// collection stay unordered). Keyed writes (m[k] = v) and commutative
+// accumulation into scalars are not order-sensitive and never become
+// tainted.
+func checkLoopOrder(p *Package, report func(token.Pos, string)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				p.loopOrderFunc(body, report)
+			}
+			return true
+		})
+	}
+}
+
+// loopOrderFunc checks one function body. Nested function literals are
+// visited by checkLoopOrder separately; their loops are analyzed in the
+// scope of the literal's own body.
+func (p *Package) loopOrderFunc(body *ast.BlockStmt, report func(token.Pos, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.X == nil {
+			return true
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.loopOrderRange(rng, body, report)
+		return true
+	})
+}
+
+// loopOrderRange taints values derived from one map-range loop and
+// reports the first post-loop output sink they reach unsorted.
+func (p *Package) loopOrderRange(rng *ast.RangeStmt, body *ast.BlockStmt, report func(token.Pos, string)) {
+	tainted := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	usesTainted := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && tainted[p.Info.ObjectOf(id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Fixpoint: propagate taint through assignments and derived ranges.
+	// Scoping guarantees tainting statements live inside or after the
+	// loop, so one body-wide walk per round is sound.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range stmt.Lhs {
+					rhs := ast.Expr(nil)
+					if i < len(stmt.Rhs) {
+						rhs = stmt.Rhs[i]
+					} else if len(stmt.Rhs) == 1 {
+						rhs = stmt.Rhs[0] // multi-assign from one call
+					}
+					if rhs == nil || !usesTainted(rhs) {
+						continue
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue // keyed writes (m[k]=v) are order-insensitive
+					}
+					obj := p.Info.ObjectOf(id)
+					if obj == nil || tainted[obj] || !orderSensitive(obj.Type()) {
+						continue
+					}
+					tainted[obj] = true
+					changed = true
+				}
+			case *ast.RangeStmt:
+				if stmt == rng || stmt.X == nil || !usesTainted(stmt.X) {
+					return true
+				}
+				for _, e := range []ast.Expr{stmt.Key, stmt.Value} {
+					id, ok := e.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if obj := p.Info.ObjectOf(id); obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Find the first output sink after the loop that consumes a tainted
+	// value with no dominating sort in between.
+	var sink *ast.CallExpr
+	var sinkName string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		name, isOut := p.outputCall(call)
+		if !isOut {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesTainted(arg) && !p.sortedTaintedBetween(body, rng.End(), call.Pos(), tainted) {
+				sink, sinkName = call, name
+				return false
+			}
+		}
+		return true
+	})
+	if sink != nil {
+		report(rng.Pos(), fmt.Sprintf(
+			"map iteration order reaches output: %s at line %d prints a value derived from this range without an intervening sort",
+			sinkName, p.Fset.Position(sink.Pos()).Line))
+	}
+}
+
+// sortedTaintedBetween reports whether a sort.*/slices.* call touching a
+// tainted variable appears in body strictly between from and to — the
+// dominating sort that makes the downstream output order deterministic.
+func (p *Package) sortedTaintedBetween(body *ast.BlockStmt, from, to token.Pos, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < from || call.Pos() > to {
+			return true
+		}
+		switch pkgPathOf(funcOf(p.Info, call)) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && tainted[p.Info.ObjectOf(id)] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// orderSensitive reports whether accumulating into a value of type t
+// preserves arrival order: slices, arrays, and strings do; scalars and
+// keyed maps do not.
+func orderSensitive(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

@@ -50,7 +50,8 @@ func (p *Program) CondBranchPCs() []uint64 {
 }
 
 // Validate checks structural invariants: defined opcodes, in-range
-// registers, and control transfers that stay inside the program.
+// registers, control transfers that stay inside the program, and
+// conditional branches whose taken and fallthrough targets differ.
 func (p *Program) Validate() error {
 	n := len(p.Code)
 	if n == 0 {
@@ -68,6 +69,14 @@ func (p *Program) Validate() error {
 			t := i + 1 + int(in.Imm)
 			if t < 0 || t >= n {
 				return fmt.Errorf("program %q: inst %d: branch target %d out of range [0,%d)", p.Name, i, t, n)
+			}
+			// A conditional branch whose taken target is its own
+			// fallthrough (Imm == 0) transfers control identically either
+			// way: it contributes a CFG node with one real successor and
+			// poisons the static conflict estimate, so it is rejected like
+			// any other malformed transfer.
+			if in.Imm == 0 {
+				return fmt.Errorf("program %q: inst %d: degenerate conditional branch: taken target equals fallthrough", p.Name, i)
 			}
 		case isa.OpJump, isa.OpCall:
 			t := int(in.Imm)

@@ -138,6 +138,23 @@ func TestValidateJumpOutOfRange(t *testing.T) {
 	}
 }
 
+func TestValidateDegenerateCondBranch(t *testing.T) {
+	// Imm == 0: the taken target is the fallthrough instruction, so the
+	// "branch" transfers control identically either way.
+	p := &Program{Name: "t", Code: []isa.Inst{
+		{Op: isa.OpBne, Imm: 0},
+		{Op: isa.OpHalt},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "degenerate conditional branch") {
+		t.Fatalf("expected degenerate-branch error, got %v", err)
+	}
+	// A branch with a distinct target (here: itself) stays valid.
+	p.Code[0].Imm = -1
+	if err := p.Validate(); err != nil {
+		t.Fatalf("distinct-target branch rejected: %v", err)
+	}
+}
+
 func TestValidateBadOpcode(t *testing.T) {
 	p := &Program{Name: "t", Code: []isa.Inst{{Op: isa.Op(200)}}}
 	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "invalid opcode") {
@@ -166,6 +183,7 @@ func TestCondBranchAccounting(t *testing.T) {
 	b.Bne(1, 2, l)
 	b.Bltz(1, l)
 	b.Bgez(1, l)
+	b.Nop() // keep the last branch's taken target distinct from fallthrough
 	b.Bind(l)
 	b.Jump(l) // not a conditional branch
 	b.Halt()
