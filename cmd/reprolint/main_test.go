@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// fixtureRoot returns the hotfixture module, a self-contained package
+// with a seeded hot-path allocation.
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "hotfixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runFixture(t *testing.T, opts options) (string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	failing, err := run(fixtureRoot(t), []string{"./..."}, opts, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	return stdout.String(), failing
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestHotFixtureTextGolden(t *testing.T) {
+	got, failing := runFixture(t, options{quiet: true})
+	if failing == 0 {
+		t.Fatalf("seeded hot-path allocation not detected; output:\n%s", got)
+	}
+	if !strings.Contains(got, "hotpath") {
+		t.Errorf("output does not name the hotpath pass:\n%s", got)
+	}
+	checkGolden(t, "hotfixture.golden", got)
+}
+
+func TestHotFixtureJSONGolden(t *testing.T) {
+	got, failing := runFixture(t, options{quiet: true, jsonOut: true})
+	if failing == 0 {
+		t.Fatalf("seeded hot-path allocation not detected; output:\n%s", got)
+	}
+	checkGolden(t, "hotfixture.json.golden", got)
+}
+
+// TestBaselineRoundTrip proves the CI workflow: write a baseline, then
+// a run against it is clean; a run against an empty baseline fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := fixtureRoot(t)
+	tmp, err := os.MkdirTemp("", "reprolint-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	rel, err := filepath.Rel(root, filepath.Join(tmp, "LINT.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	failing, err := run(root, []string{"./..."}, options{quiet: true, writeBaseline: rel}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing != 0 {
+		t.Errorf("write-baseline mode must not fail, got %d", failing)
+	}
+	data, err := os.ReadFile(filepath.Join(tmp, "LINT.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "hotpath") {
+		t.Fatalf("baseline missing the seeded finding:\n%s", data)
+	}
+
+	stdout.Reset()
+	failing, err = run(root, []string{"./..."}, options{quiet: true, baseline: rel}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing != 0 {
+		t.Errorf("baselined run reports %d failing finding(s):\n%s", failing, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("baselined findings still printed:\n%s", stdout.String())
+	}
+}
+
+// TestRepoTreeCleanModuloBaseline is the acceptance criterion: the real
+// tree, checked against the committed LINT.baseline, has no new failing
+// findings.
+func TestRepoTreeCleanModuloBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is slow")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	failing, err := run(root, []string{"./..."}, options{quiet: true, baseline: "LINT.baseline"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing != 0 {
+		t.Errorf("tree has %d finding(s) not in LINT.baseline:\n%s", failing, stdout.String())
+	}
+}

@@ -1,0 +1,152 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func passOnly(fs []lint.Finding, pass string) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range fs {
+		if f.Pass == pass {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func linesOf(fs []lint.Finding) map[int]int {
+	got := make(map[int]int)
+	for _, f := range fs {
+		got[f.Pos.Line]++
+	}
+	return got
+}
+
+func TestAtomicSafetyFlagsMixedAccess(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+	cold uint64
+}
+
+func Inc(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func Read(s *stats) uint64 {
+	return s.hits // line 15: plain read of an atomically updated field
+}
+
+func Write(s *stats) {
+	s.hits = 0 // line 19: plain write
+}
+
+func ColdRead(s *stats) uint64 {
+	return s.cold // never touched atomically: fine
+}
+`), "atomicsafety")
+	got := linesOf(findings)
+	if got[15] != 1 || got[19] != 1 || len(findings) != 2 {
+		t.Errorf("want mixed-access findings on lines 15 and 19 only, got %v", findings)
+	}
+}
+
+func TestAtomicSafetyFlagsLockCopies(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(g guarded) int { // line 10: parameter copies the lock
+	return g.n
+}
+
+func ByPointer(g *guarded) int { // fine
+	return g.n
+}
+
+func CopyAssign(g *guarded) {
+	c := *g // line 19: assignment copies the lock
+	_ = c
+}
+
+func CopyArg(g *guarded) {
+	ByValue(*g) // line 24: argument copies the lock
+}
+
+func RangeCopy(gs []guarded) {
+	for _, g := range gs { // line 28: range value copies the lock
+		_ = g.n
+	}
+}
+
+func FreshValue() {
+	g := guarded{} // constructing a new value: fine
+	_ = g
+}
+
+func NewOK() *sync.Mutex {
+	return new(sync.Mutex) // type operand, not a value copy: fine
+}
+`), "atomicsafety")
+	got := linesOf(findings)
+	want := map[int]int{10: 1, 19: 1, 24: 1, 28: 1}
+	for line, n := range want {
+		if got[line] != n {
+			t.Errorf("line %d: %d finding(s), want %d", line, got[line], n)
+		}
+	}
+	if len(findings) != 4 {
+		t.Errorf("want 4 findings, got %d", len(findings))
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+}
+
+func TestAtomicSafetyFlagsGoroutineCapturedWrites(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+func Race() int {
+	total := 0
+	done := make(chan struct{})
+	go func() { // line 6: total written here, read after launch
+		total = 41
+		close(done)
+	}()
+	<-done
+	return total + 1
+}
+
+func IndexFanOut(results []int) int {
+	done := make(chan struct{})
+	go func() {
+		results[0] = 1 // index write: sanctioned disjoint-shard pattern
+		close(done)
+	}()
+	<-done
+	return results[0]
+}
+
+func Confined() {
+	go func() {
+		local := 0
+		local++
+		_ = local
+	}()
+}
+`), "atomicsafety")
+	got := linesOf(findings)
+	if got[6] != 1 || len(findings) != 1 {
+		t.Errorf("want one capture finding on line 6, got %v", findings)
+	}
+}

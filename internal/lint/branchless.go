@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkBranchless is the branchless pass: an advisory (info-severity)
+// pass that recognizes branchy spellings of the three idioms the TAGE
+// review in SNIPPETS.md recommends for predictor state, and points at
+// the branch-free equivalent:
+//
+//   - bool→bit conversion: `bit := 0; if taken { bit = 1 }` feeding a
+//     history shift — spell it as a helper like b2i so the compiler
+//     emits SETcc instead of a conditional branch the predictor itself
+//     has to predict;
+//   - saturating counter update: guarded ±1 with comparisons against
+//     the rails — spell it as a min/max clamp;
+//   - zero-clear loops over slices: `for i := range s { s[i] = 0 }` —
+//     the clear builtin compiles to a word-level memclr.
+//
+// The pass is scoped to internal/predict and internal/profile, the two
+// packages whose inner loops model per-branch state.
+func checkBranchless(p *Package, report func(token.Pos, string)) {
+	if !strings.Contains(p.Path, "internal/predict") && !strings.Contains(p.Path, "internal/profile") {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BlockStmt:
+				p.checkBoolToBit(x, report)
+			case *ast.RangeStmt:
+				p.checkZeroClear(x, report)
+			case *ast.FuncDecl:
+				p.checkSaturating(x, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkBoolToBit flags the zero-init-then-conditionally-set-one pair.
+func (p *Package) checkBoolToBit(block *ast.BlockStmt, report func(token.Pos, string)) {
+	for i := 1; i < len(block.List); i++ {
+		ifs, ok := block.List[i].(*ast.IfStmt)
+		if !ok || ifs.Else != nil || ifs.Init != nil || len(ifs.Body.List) != 1 {
+			continue
+		}
+		set, ok := ifs.Body.List[0].(*ast.AssignStmt)
+		if !ok || set.Tok != token.ASSIGN || len(set.Lhs) != 1 || len(set.Rhs) != 1 {
+			continue
+		}
+		target, ok := ast.Unparen(set.Lhs[0]).(*ast.Ident)
+		if !ok || !isIntConst(p, set.Rhs[0], 1) {
+			continue
+		}
+		if t := p.Info.TypeOf(target); t == nil || t.Underlying() == nil {
+			continue
+		} else if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		// The statement right above must declare/assign the same
+		// variable to zero.
+		init, ok := block.List[i-1].(*ast.AssignStmt)
+		if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			continue
+		}
+		id, ok := ast.Unparen(init.Lhs[0]).(*ast.Ident)
+		if !ok || p.Info.ObjectOf(id) != p.Info.ObjectOf(target) || !isIntConst(p, init.Rhs[0], 0) {
+			continue
+		}
+		report(ifs.Pos(), fmt.Sprintf(
+			"branchy bool-to-bit: %s is zeroed then conditionally set to 1; use a branchless helper (b2i) so the shift compiles to SETcc",
+			target.Name))
+	}
+}
+
+// checkZeroClear flags `for i := range s { s[i] = 0 }` over a slice.
+func (p *Package) checkZeroClear(rng *ast.RangeStmt, report func(token.Pos, string)) {
+	if rng.Key == nil || rng.Value != nil || rng.Tok != token.DEFINE || len(rng.Body.List) != 1 {
+		return
+	}
+	if _, ok := p.typeOf(rng.X).(*types.Slice); !ok {
+		return
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	idx, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr)
+	if !ok || !isZeroValueExpr(p, as.Rhs[0]) {
+		return
+	}
+	key, ok := ast.Unparen(rng.Key).(*ast.Ident)
+	if !ok {
+		return
+	}
+	iid, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok || p.Info.ObjectOf(iid) != p.Info.ObjectOf(key) {
+		return
+	}
+	if !sameExprText(idx.X, rng.X) {
+		return
+	}
+	report(rng.Pos(), fmt.Sprintf(
+		"element-wise zero loop over %s; the clear builtin compiles to a word-level memclr",
+		types.ExprString(rng.X)))
+}
+
+// checkSaturating flags functions that implement a saturating ±1 with
+// guarded returns: `if c < hi { return c + 1 }` / `if c > lo { return
+// c - 1 }` patterns.
+func (p *Package) checkSaturating(decl *ast.FuncDecl, report func(token.Pos, string)) {
+	if decl.Body == nil {
+		return
+	}
+	guarded := 0
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		// One side of the guard must be constant (a rail).
+		if !isConstExpr(p, cond.X) && !isConstExpr(p, cond.Y) {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if isPlusMinusOne(p, ret.Results[0]) {
+			guarded++
+		}
+		return true
+	})
+	if guarded >= 2 {
+		report(decl.Pos(), fmt.Sprintf(
+			"%s saturates with guarded ±1 returns; a branchless min/max clamp avoids two data-dependent branches per update",
+			decl.Name.Name))
+	}
+}
+
+// isPlusMinusOne reports whether e is `x + 1`, `x - 1`, or a conversion
+// of one.
+func isPlusMinusOne(p *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			return isPlusMinusOne(p, call.Args[0])
+		}
+		return false
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		return false
+	}
+	return isIntConst(p, bin.Y, 1) || isIntConst(p, bin.X, 1)
+}
+
+// isIntConst reports whether e is a constant with integer value v.
+func isIntConst(p *Package, e ast.Expr, v int64) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	got, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && got == v
+}
+
+// isConstExpr reports whether e has a constant value.
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// isZeroValueExpr reports whether e spells the zero value (0, false,
+// "").
+func isZeroValueExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Bool:
+		return !constant.BoolVal(tv.Value)
+	case constant.String:
+		return constant.StringVal(tv.Value) == ""
+	}
+	return false
+}
+
+// sameExprText compares two expressions by their printed form — good
+// enough to match the ranged slice with the indexed one.
+func sameExprText(a, b ast.Expr) bool {
+	return types.ExprString(ast.Unparen(a)) == types.ExprString(ast.Unparen(b))
+}

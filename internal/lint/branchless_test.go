@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+const branchlessFixtureSrc = `package predict
+
+func Shift(hist uint32, taken bool) uint32 {
+	bit := uint32(0)
+	if taken { // line 5: branchy bool-to-bit
+		bit = 1
+	}
+	return (hist << 1) | bit
+}
+
+func Clear(s []uint64) {
+	for i := range s { // line 12: element-wise zero loop
+		s[i] = 0
+	}
+}
+
+func Sat(c uint8, taken bool) uint8 { // line 17: guarded saturating +-1
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func ShiftBranchless(hist uint32, bit uint32) uint32 {
+	return (hist << 1) | bit // already branchless: fine
+}
+
+func ClearAll(s []uint64) {
+	clear(s) // builtin: fine
+}
+
+func KeyedZero(m map[int]int, ks []int) {
+	for _, k := range ks {
+		m[k] = 0 // map zeroing is not a memclr candidate: fine
+	}
+}
+`
+
+func TestBranchlessFlagsBranchyIdioms(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/predict", branchlessFixtureSrc), "branchless")
+	got := linesOf(findings)
+	want := map[int]int{5: 1, 12: 1, 17: 1}
+	for line, n := range want {
+		if got[line] != n {
+			t.Errorf("line %d: %d finding(s), want %d", line, got[line], n)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("want 3 findings, got %d", len(findings))
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+	for _, f := range findings {
+		if f.Severity != lint.SevInfo {
+			t.Errorf("line %d: severity %s, want info (advisory)", f.Pos.Line, f.Severity)
+		}
+		if f.Severity.Fails() {
+			t.Errorf("advisory finding reports as failing: %s", f)
+		}
+	}
+}
+
+func TestBranchlessScopedToPredictAndProfile(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/vm", branchlessFixtureSrc), "branchless")
+	if len(findings) != 0 {
+		t.Errorf("branchless pass fired outside internal/predict and internal/profile: %v", findings)
+	}
+}

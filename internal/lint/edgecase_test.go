@@ -1,0 +1,125 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Edge-case coverage for the framework itself: nested map ranges in the
+// looporder taint walk, suppression comments on lines carrying findings
+// from more than one pass, and the stable total order of Findings.
+
+func TestLoopOrderNestedMapRanges(t *testing.T) {
+	findings := passOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func BadNested(mm map[string]map[string]int) {
+	var keys []string
+	for k, inner := range mm { // line 10: outer taints keys
+		for k2 := range inner { // line 11: inner taints keys too
+			keys = append(keys, k+k2)
+		}
+	}
+	fmt.Println(keys)
+}
+
+func GoodNestedSorted(mm map[string]map[string]int) {
+	var keys []string
+	for k, inner := range mm {
+		for k2 := range inner {
+			keys = append(keys, k+k2)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+func GoodInnerKeyed(mm map[string]map[string]int) {
+	counts := make(map[string]int)
+	for k, inner := range mm {
+		for range inner {
+			counts[k]++ // keyed write: order-insensitive
+		}
+	}
+	fmt.Println(len(counts))
+}
+`), "looporder")
+	got := linesOf(findings)
+	if got[10] != 1 || got[11] != 1 || len(findings) != 2 {
+		t.Errorf("want looporder findings on both nested range lines 10 and 11, got %v", findings)
+	}
+}
+
+func TestSuppressionOnMultiFindingLine(t *testing.T) {
+	findings := lintFixture(t, "repro/internal/fixture", `package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func Multi(f *os.File) int64 {
+	t := time.Now().UnixNano(); f.Close() //reprolint:allow errcheck close audited separately
+	return t
+}
+
+func MultiAll(f *os.File) int64 {
+	t := time.Now().UnixNano(); f.Close() //reprolint:allow all one-off diagnostic helper
+	return t
+}
+`)
+	var passes []string
+	for _, f := range findings {
+		passes = append(passes, f.Pass)
+		if f.Pos.Line != 9 {
+			t.Errorf("unexpected finding outside line 9: %s", f)
+		}
+	}
+	// Line 9 holds both an entropy and an errcheck finding; the allow
+	// names only errcheck, so entropy must survive. Line 14's allow-all
+	// suppresses both.
+	if len(findings) != 1 || findings[0].Pass != "entropy" {
+		t.Errorf("want exactly one surviving entropy finding on line 9, got %v (passes %v)", findings, passes)
+	}
+}
+
+func TestFindingsStableTotalOrder(t *testing.T) {
+	findings := lintFixture(t, "repro/internal/fixture", `package fixture
+
+import "time"
+
+func A() (int64, int64) {
+	a := time.Now().UnixNano()
+	b := time.Now().UnixNano()
+	return a, b
+}
+`)
+	if len(findings) < 2 {
+		t.Fatalf("fixture produced %d findings, want >= 2", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line == b.Pos.Line && a.Pos.Column > b.Pos.Column) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+	// The sort must be a pure function of the findings, not insertion
+	// order: re-sorting a reversed copy reproduces the same sequence.
+	rev := make([]lint.Finding, len(findings))
+	for i, f := range findings {
+		rev[len(findings)-1-i] = f
+	}
+	lint.SortFindings(rev)
+	for i := range findings {
+		if rev[i] != findings[i] {
+			t.Errorf("position %d: re-sort diverges: %s vs %s", i, rev[i], findings[i])
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// hotpathOnly filters findings to the hotpath pass — the shared
+// fixtures intentionally contain constructs other passes also see.
+func hotpathOnly(fs []lint.Finding) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range fs {
+		if f.Pass == "hotpath" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestHotPathFlagsConstructsInRoot(t *testing.T) {
+	findings := hotpathOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	m  map[uint64]int
+	ch chan uint64
+}
+
+//reprolint:hotpath test root
+func (s *state) Hot(pc uint64) {
+	b := make([]byte, 8)   // line 13: make
+	_ = string(b)          // line 14: []byte->string conversion
+	_ = new(int)           // line 15: new
+	v := s.m[pc]           // line 16: map access
+	s.ch <- pc             // line 17: channel send
+	s.mu.Lock()            // line 18: mutex acquisition
+	defer s.mu.Unlock()    // line 19: defer
+	_ = append([]int{}, v) // line 20: slice literal + append
+}
+
+func Cold() {
+	_ = make([]byte, 8) // not hot: clean
+}
+`))
+	want := map[int]int{13: 1, 14: 1, 15: 1, 16: 1, 17: 1, 18: 1, 19: 1, 20: 2}
+	got := make(map[int]int)
+	for _, f := range findings {
+		got[f.Pos.Line]++
+		if f.Severity != lint.SevWarn {
+			t.Errorf("line %d: severity %s, want warn", f.Pos.Line, f.Severity)
+		}
+		if !strings.Contains(f.Msg, "(hotpath root)") {
+			t.Errorf("line %d: missing root attribution: %s", f.Pos.Line, f.Msg)
+		}
+	}
+	for line, n := range want {
+		if got[line] != n {
+			t.Errorf("line %d: %d hotpath finding(s), want %d", line, got[line], n)
+		}
+	}
+	for line := range got {
+		if _, ok := want[line]; !ok {
+			t.Errorf("line %d: unexpected hotpath finding", line)
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+}
+
+func TestHotPathReachesThroughCallsAndInterfaces(t *testing.T) {
+	findings := hotpathOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+type sink interface {
+	Emit(pc uint64)
+}
+
+type counter struct{ n uint64 }
+
+func (c *counter) Emit(pc uint64) {
+	c.slow(pc)
+}
+
+func (c *counter) slow(pc uint64) {
+	_ = make([]byte, 8) // line 14: hot via interface dispatch + static call
+}
+
+//reprolint:hotpath test root
+func Hot(s sink) {
+	s.Emit(1)
+}
+
+type otherIface interface {
+	Emit(pc uint32) // different signature: does not match sink.Emit
+}
+
+type unrelated struct{}
+
+func (unrelated) Emit(pc uint32) {
+	_ = make([]byte, 8) // different signature key: stays cold
+}
+`))
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Pos.Line != 14 {
+		t.Errorf("finding on line %d, want 14", f.Pos.Line)
+	}
+	if !strings.Contains(f.Msg, "reached from fixture.Hot") {
+		t.Errorf("missing reached-from attribution: %s", f.Msg)
+	}
+}
+
+func TestHotPathFollowsMethodValuesAndClosures(t *testing.T) {
+	findings := hotpathOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+type worker struct{}
+
+func (w *worker) step() {
+	_ = make([]byte, 8) // line 6: hot via method value
+}
+
+func helper() {
+	_ = make([]byte, 8) // line 10: hot via function value
+}
+
+//reprolint:hotpath test root
+func Hot(w *worker) {
+	f := w.step // method value: potential call edge
+	g := helper // function value: potential call edge
+	inner := func() {
+		_ = make([]byte, 8) // line 18: closures analyzed as part of Hot
+	}
+	f()
+	g()
+	inner()
+}
+`))
+	got := make(map[int]bool)
+	for _, f := range findings {
+		got[f.Pos.Line] = true
+	}
+	for _, line := range []int{6, 10, 18} {
+		if !got[line] {
+			t.Errorf("line %d: expected hotpath finding, got %v", line, findings)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("want 3 findings, got %d: %v", len(findings), findings)
+	}
+}
+
+func TestHotPathFlagsInterfaceBoxing(t *testing.T) {
+	findings := hotpathOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+func give(v any)         {}
+func giveMany(vs ...any) {}
+
+//reprolint:hotpath test root
+func Hot(p *int, n uint64) {
+	give(n)        // line 8: uint64 boxed into any
+	give(p)        // pointer-shaped: clean
+	giveMany(n, p) // line 10: n boxes, p does not
+	give(nil)      // untyped nil: clean
+}
+`))
+	got := make(map[int]int)
+	for _, f := range findings {
+		if !strings.Contains(f.Msg, "interface boxing") {
+			t.Errorf("unexpected non-boxing finding: %s", f)
+		}
+		got[f.Pos.Line]++
+	}
+	if got[8] != 1 || got[10] != 1 || len(findings) != 2 {
+		t.Errorf("want one boxing finding each on lines 8 and 10, got %v", findings)
+	}
+}
+
+func TestHotPathSuppression(t *testing.T) {
+	findings := hotpathOnly(lintFixture(t, "repro/internal/fixture", `package fixture
+
+//reprolint:hotpath test root
+func Hot() {
+	_ = make([]byte, 8) //reprolint:allow hotpath audited one-time buffer
+	// An allow also covers the line directly below it, so keep a
+	// spacer statement between the suppressed and the live finding.
+	var keep int
+	_ = keep
+	_ = make([]byte, 8) // line 10: not suppressed
+}
+`))
+	if len(findings) != 1 || findings[0].Pos.Line != 10 {
+		t.Errorf("want only line 10 flagged, got %v", findings)
+	}
+}

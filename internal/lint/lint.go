@@ -39,15 +39,36 @@ import (
 	"strings"
 )
 
+// Severity ranks findings. Error and Warn findings fail the build;
+// Info findings are advisory (reported, never a failure) — the
+// branchless pass uses them to suggest idioms without blocking.
+type Severity string
+
+const (
+	// SevError marks invariant violations (determinism, dropped errors,
+	// atomic misuse).
+	SevError Severity = "error"
+	// SevWarn marks hot-path hygiene findings: not provably wrong, but
+	// exactly the constructs that erase a perf win when they creep into
+	// an inner loop.
+	SevWarn Severity = "warn"
+	// SevInfo marks advisory idiom suggestions.
+	SevInfo Severity = "info"
+)
+
+// Fails reports whether a finding of this severity should fail the run.
+func (s Severity) Fails() bool { return s != SevInfo }
+
 // Finding is one lint diagnostic.
 type Finding struct {
-	Pos  token.Position
-	Pass string
-	Msg  string
+	Pos      token.Position
+	Pass     string
+	Severity Severity
+	Msg      string
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Pass, f.Msg)
+	return fmt.Sprintf("%s: %s: %s: %s", f.Pos, f.Severity, f.Pass, f.Msg)
 }
 
 // Package is one loaded, type-checked package ready for linting.
@@ -63,59 +84,132 @@ type Package struct {
 	allow map[string]map[int]map[string]bool
 }
 
-// pass is one lint pass over a package.
+// pass is one package-local lint pass.
 type pass struct {
-	name string
-	run  func(*Package, func(token.Pos, string))
+	name     string
+	severity Severity
+	run      func(*Package, func(token.Pos, string))
 }
 
-// passes is the registry, in reporting order.
+// passes is the package-local registry, in reporting order.
 var passes = []pass{
-	{"determinism", checkRangeMap},
-	{"looporder", checkLoopOrder},
-	{"entropy", checkEntropy},
-	{"errcheck", checkErrors},
-	{"confighygiene", checkConfig},
+	{"determinism", SevError, checkRangeMap},
+	{"looporder", SevError, checkLoopOrder},
+	{"entropy", SevError, checkEntropy},
+	{"errcheck", SevError, checkErrors},
+	{"confighygiene", SevError, checkConfig},
+	{"atomicsafety", SevWarn, checkAtomicSafety},
+	{"branchless", SevInfo, checkBranchless},
 }
 
-// PassNames returns the registered pass names.
+// modulePass is one whole-module (interprocedural) pass. It receives
+// every loaded package at once so analyses can follow calls across
+// package boundaries; findings are attributed to the package owning the
+// reported position.
+type modulePass struct {
+	name     string
+	severity Severity
+	run      func(*Module, func(*Package, token.Pos, string))
+}
+
+// modulePasses is the interprocedural registry.
+var modulePasses = []modulePass{
+	{"hotpath", SevWarn, checkHotPath},
+}
+
+// PassNames returns the registered pass names, local passes first.
 func PassNames() []string {
-	names := make([]string, len(passes))
-	for i, p := range passes {
-		names[i] = p.name
+	names := make([]string, 0, len(passes)+len(modulePasses))
+	for _, p := range passes {
+		names = append(names, p.name)
+	}
+	for _, p := range modulePasses {
+		names = append(names, p.name)
 	}
 	return names
 }
 
-// Findings runs every pass over p and returns unsuppressed findings
-// sorted by position.
-func (p *Package) Findings() []Finding { return Lint(p) }
+// Findings runs every pass over p alone and returns unsuppressed
+// findings in the canonical order. Interprocedural passes see a
+// one-package module; use NewModule to analyze several packages
+// together.
+func (p *Package) Findings() []Finding { return NewModule([]*Package{p}).Findings() }
 
-// Lint runs every pass over pkg and returns unsuppressed findings
-// sorted by position.
-func Lint(pkg *Package) []Finding {
+// Lint runs every pass over pkg alone; it is Findings by its older name.
+func Lint(pkg *Package) []Finding { return pkg.Findings() }
+
+// Module is a set of loaded packages analyzed together. The
+// interprocedural passes (hotpath) resolve calls across every package
+// in the module; package-local passes run per package.
+type Module struct {
+	Pkgs []*Package
+
+	graph *callGraph // built lazily by CallGraph
+}
+
+// NewModule wraps pkgs for whole-module analysis. The packages should
+// share one token.FileSet (the Loader guarantees this).
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs}
+}
+
+// Findings runs every registered pass — package-local passes on each
+// package, interprocedural passes on the module — and returns
+// unsuppressed findings in a stable total order: by file, line, column,
+// pass, then message, so baseline diffs and CI logs are deterministic
+// across runs and GOMAXPROCS.
+func (m *Module) Findings() []Finding {
 	var out []Finding
-	for _, p := range passes {
-		name := p.name
-		p.run(pkg, func(pos token.Pos, msg string) {
-			position := pkg.Fset.Position(pos)
-			if pkg.suppressed(position, name) {
-				return
+	for _, pkg := range m.Pkgs {
+		for _, p := range passes {
+			p := p
+			p.run(pkg, func(pos token.Pos, msg string) {
+				if f, ok := pkg.finding(pos, p.name, p.severity, msg); ok {
+					out = append(out, f)
+				}
+			})
+		}
+	}
+	for _, p := range modulePasses {
+		p := p
+		p.run(m, func(pkg *Package, pos token.Pos, msg string) {
+			if f, ok := pkg.finding(pos, p.name, p.severity, msg); ok {
+				out = append(out, f)
 			}
-			out = append(out, Finding{Pos: position, Pass: name, Msg: msg})
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
+	SortFindings(out)
+	return out
+}
+
+// finding resolves and suppression-filters one diagnostic.
+func (p *Package) finding(pos token.Pos, pass string, sev Severity, msg string) (Finding, bool) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position, pass) {
+		return Finding{}, false
+	}
+	return Finding{Pos: position, Pass: pass, Severity: sev, Msg: msg}, true
+}
+
+// SortFindings sorts findings into the canonical total order: file,
+// line, column, pass, message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return out[i].Pass < out[j].Pass
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if fs[i].Pass != fs[j].Pass {
+			return fs[i].Pass < fs[j].Pass
+		}
+		return fs[i].Msg < fs[j].Msg
 	})
-	return out
 }
 
 func (p *Package) suppressed(pos token.Position, pass string) bool {

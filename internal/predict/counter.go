@@ -21,18 +21,23 @@ const (
 // Taken returns the counter's current prediction.
 func (c Counter2) Taken() bool { return c >= WeakTaken }
 
-// Update returns the counter after observing outcome taken.
+// b2i converts a branch outcome to its history bit. The compiler lowers
+// this form to a single SETcc, so shift-and-or history updates built on
+// it carry no conditional branch of their own — the branchless history
+// shift idiom.
+func b2i(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Update returns the counter after observing outcome taken: a
+// branchless saturating ±1, stepping up on taken and down on not-taken
+// and clamping to the rails with min/max instead of guard branches.
 func (c Counter2) Update(taken bool) Counter2 {
-	if taken {
-		if c < StrongTaken {
-			return c + 1
-		}
-		return c
-	}
-	if c > StrongNotTaken {
-		return c - 1
-	}
-	return c
+	d := 2*int8(b2i(taken)) - 1
+	return Counter2(min(max(int8(c)+d, int8(StrongNotTaken)), int8(StrongTaken)))
 }
 
 func (c Counter2) String() string {

@@ -66,11 +66,7 @@ func (p *PAg) Predict(pc uint64) bool {
 func (p *PAg) Update(pc uint64, taken bool) {
 	idx, h := p.historyAt(pc)
 	p.pht[h] = p.pht[h].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	p.bht[idx] = ((p.bht[idx] << 1) | bit) & p.histMask
+	p.bht[idx] = ((p.bht[idx] << 1) | b2i(taken)) & p.histMask
 }
 
 // HistoryBits returns the local history length.

@@ -25,7 +25,11 @@ type Sim struct {
 // NewSim wraps p for measurement.
 func NewSim(p Predictor) *Sim { return &Sim{p: p} }
 
-// Branch consumes one event: predict, score, train.
+// Branch consumes one event: predict, score, train. Every registered
+// predictor's Predict/Update pair runs under this dispatch, so the
+// whole scheme hierarchy is hot-reachable from here.
+//
+//reprolint:hotpath predictor update path
 func (s *Sim) Branch(pc uint64, taken bool, _ uint64) {
 	if s.p.Predict(pc) != taken {
 		s.mispredicts++
@@ -82,6 +86,8 @@ func (s *Sim) Result() Result {
 // flush into m (nil is a no-op but still advances the flush marks). The
 // per-event Branch path carries no instrumentation; callers flush once
 // per simulated interval.
+//
+//reprolint:hotpath predictor metrics flush
 func (s *Sim) FlushMetrics(m *obs.PredictMetrics) {
 	m.Record(s.branches-s.flushedBranches, s.mispredicts-s.flushedMispredicts)
 	s.flushedBranches = s.branches

@@ -78,11 +78,7 @@ func (g *GAg) Predict(pc uint64) bool { return g.pht[g.hist&g.mask].Taken() }
 func (g *GAg) Update(pc uint64, taken bool) {
 	i := g.hist & g.mask
 	g.pht[i] = g.pht[i].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	g.hist = ((g.hist << 1) | bit) & g.mask
+	g.hist = ((g.hist << 1) | b2i(taken)) & g.mask
 }
 
 // Gshare is McFarling's variant: global history XORed with the PC
@@ -117,11 +113,7 @@ func (g *Gshare) Predict(pc uint64) bool { return g.pht[g.index(pc)].Taken() }
 func (g *Gshare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
 	g.pht[i] = g.pht[i].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	g.hist = ((g.hist << 1) | bit) & g.mask
+	g.hist = ((g.hist << 1) | b2i(taken)) & g.mask
 }
 
 // AlwaysTaken is the trivial static baseline.

@@ -60,11 +60,7 @@ func (g *GAs) Update(pc uint64, taken bool) {
 	t := g.table(pc)
 	i := g.hist & g.histMask
 	t[i] = t[i].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	g.hist = ((g.hist << 1) | bit) & g.histMask
+	g.hist = ((g.hist << 1) | b2i(taken)) & g.histMask
 }
 
 // PAs is a per-address-history two-level predictor with per-set pattern
@@ -129,11 +125,7 @@ func (p *PAs) Predict(pc uint64) bool {
 func (p *PAs) Update(pc uint64, taken bool) {
 	idx, h, t := p.slot(pc)
 	t[h] = t[h].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	p.bht[idx] = ((p.bht[idx] << 1) | bit) & p.histMask
+	p.bht[idx] = ((p.bht[idx] << 1) | b2i(taken)) & p.histMask
 }
 
 // PAp keeps both levels per static branch: private history and a
@@ -188,11 +180,7 @@ func (p *PAp) Update(pc uint64, taken bool) {
 	e := p.entry(pc)
 	i := e.hist & p.histMask
 	e.pht[i] = e.pht[i].Update(taken)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	e.hist = ((e.hist << 1) | bit) & p.histMask
+	e.hist = ((e.hist << 1) | b2i(taken)) & p.histMask
 }
 
 // Agree implements the agree predictor of Sprangle et al. (ISCA 1997),
@@ -267,11 +255,7 @@ func (a *Agree) Update(pc uint64, taken bool) {
 	i := a.index(pc)
 	agrees := taken == a.bias[bi]
 	a.pht[i] = a.pht[i].Update(agrees)
-	bit := uint32(0)
-	if taken {
-		bit = 1
-	}
-	a.hist = ((a.hist << 1) | bit) & a.mask
+	a.hist = ((a.hist << 1) | b2i(taken)) & a.mask
 }
 
 // Combining is McFarling's tournament predictor: two component

@@ -210,7 +210,11 @@ func (p *Profiler) Shards() int {
 	return p.numShards
 }
 
-// Branch consumes one dynamic branch event.
+// Branch consumes one dynamic branch event: first-touch discovery,
+// execution counters, the recency-list interleaving scan (the
+// pair-increment inner loop), and the move-to-front update.
+//
+//reprolint:hotpath profiler pair-increment scan
 func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 	id, ok := p.ids[pc]
 	if !ok {

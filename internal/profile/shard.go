@@ -123,6 +123,8 @@ func (s *pairShards) inc(key uint64) {
 // shard tables hold every increment issued so far and may be read from
 // the calling goroutine; accumulation can resume afterwards (inc after
 // start restarts the workers).
+//
+//reprolint:hotpath shard pipeline drain barrier
 func (s *pairShards) drain() {
 	if !s.running {
 		return

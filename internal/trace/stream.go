@@ -26,6 +26,8 @@ type FreqCounter struct {
 }
 
 // Branch consumes one event.
+//
+//reprolint:hotpath frequency pre-count sink
 func (f *FreqCounter) Branch(pc uint64, taken bool, icount uint64) {
 	if f.counts == nil {
 		f.counts = make(map[uint64]*BranchStat)
@@ -76,6 +78,8 @@ type FilterSink struct {
 }
 
 // Branch forwards the event if its branch is retained.
+//
+//reprolint:hotpath stream filter sink
 func (f FilterSink) Branch(pc uint64, taken bool, icount uint64) {
 	if _, ok := f.Keep[pc]; ok {
 		f.Sink.Branch(pc, taken, icount)
@@ -101,10 +105,12 @@ func NewRing(n int) *Ring {
 }
 
 // Branch records one event, evicting the oldest once full.
+//
+//reprolint:hotpath trace tail ring sink
 func (r *Ring) Branch(pc uint64, taken bool, icount uint64) {
 	e := Event{PC: pc, ICount: icount, Taken: taken}
 	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, e)
+		r.buf = append(r.buf, e) //reprolint:allow hotpath appends only up to the fixed ring capacity, never regrows
 	} else {
 		r.buf[r.next] = e
 		r.next = (r.next + 1) % cap(r.buf)

@@ -60,8 +60,10 @@ func (r *Recorder) Reserve(events int) {
 }
 
 // Branch records one event.
+//
+//reprolint:hotpath trace recording sink
 func (r *Recorder) Branch(pc uint64, taken bool, icount uint64) {
-	r.trace.Events = append(r.trace.Events, Event{PC: pc, ICount: icount, Taken: taken})
+	r.trace.Events = append(r.trace.Events, Event{PC: pc, ICount: icount, Taken: taken}) //reprolint:allow hotpath Reserve pre-sizes the buffer; growth only without a reservation
 }
 
 // Finish stamps the run's total instruction count and returns the trace.

@@ -123,10 +123,14 @@ func (m *Machine) Run(cfg Config) (Stats, error) {
 	return st, err
 }
 
+// run is the dispatch loop: fetch, decode via the opcode switch,
+// execute, and fan every conditional branch out to the configured
+// sinks. Per-event work here multiplies by the full dynamic
+// instruction count.
+//
+//reprolint:hotpath VM event dispatch loop
 func (m *Machine) run(cfg Config) (Stats, error) {
-	for i := range m.mem {
-		m.mem[i] = 0
-	}
+	clear(m.mem)
 	m.regs = [isa.NumRegs]int64{}
 	// Stack grows down from the top of memory.
 	m.regs[isa.RSP] = int64(len(m.mem) - 1)
@@ -141,7 +145,7 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 			return st, nil
 		}
 		if pc < 0 || pc >= n {
-			return st, fmt.Errorf("%w: pc %d out of range [0,%d)", ErrRuntime, pc, n)
+			return st, fmt.Errorf("%w: pc %d out of range [0,%d)", ErrRuntime, pc, n) //reprolint:allow hotpath fault exit, runs at most once per run
 		}
 		in := code[pc]
 		icount := st.Instructions
@@ -183,14 +187,14 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 		case isa.OpLoad:
 			addr := m.regs[in.Rs] + int64(in.Imm)
 			if addr < 0 || addr >= int64(len(m.mem)) {
-				return st, fmt.Errorf("%w: load address %d out of range at pc %d", ErrRuntime, addr, pc)
+				return st, fmt.Errorf("%w: load address %d out of range at pc %d", ErrRuntime, addr, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 			}
 			m.set(in.Rd, m.mem[addr])
 			st.Loads++
 		case isa.OpStore:
 			addr := m.regs[in.Rs] + int64(in.Imm)
 			if addr < 0 || addr >= int64(len(m.mem)) {
-				return st, fmt.Errorf("%w: store address %d out of range at pc %d", ErrRuntime, addr, pc)
+				return st, fmt.Errorf("%w: store address %d out of range at pc %d", ErrRuntime, addr, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 			}
 			m.mem[addr] = m.regs[in.Rt]
 			st.Stores++
@@ -228,7 +232,7 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 		case isa.OpRet:
 			t := m.regs[in.Rs]
 			if t < 0 || t >= int64(n) {
-				return st, fmt.Errorf("%w: return target %d out of range at pc %d", ErrRuntime, t, pc)
+				return st, fmt.Errorf("%w: return target %d out of range at pc %d", ErrRuntime, t, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 			}
 			next = int(t)
 			st.Returns++
@@ -236,7 +240,7 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 			st.Halted = true
 			return st, nil
 		default:
-			return st, fmt.Errorf("%w: undefined opcode %v at pc %d", ErrRuntime, in.Op, pc)
+			return st, fmt.Errorf("%w: undefined opcode %v at pc %d", ErrRuntime, in.Op, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 		}
 		pc = next
 	}
