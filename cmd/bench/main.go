@@ -1,21 +1,27 @@
 // Command bench measures the experiment harness and emits a
-// machine-readable benchmark report (default BENCH_3.json) for
+// machine-readable benchmark report (default BENCH_7.json) for
 // regression tracking: per-experiment ns/op, allocs/op, bytes/op and
 // approximate branch-stream throughput in Mbranches/s, a suite section
 // comparing serial record-then-replay against the parallel fused
-// pipeline (wall clock and retained trace memory), and a sharding
-// section comparing the intra-benchmark hot paths at shards=1 vs
-// shards=N (wall clock, shard-table memory).
+// pipeline (wall clock, retained trace memory, fused throughput), and a
+// sharding sweep over P ∈ {1, 2, 4, 8} profile shards recording wall
+// clock, speedup vs P=1, throughput, and table memory at every point —
+// at the suite level (where the harness clamps P to GOMAXPROCS; clamped
+// points are marked and reuse the measurement of the effective P) and
+// as a direct profile pass with exact sharding.
 //
 // Usage:
 //
-//	bench [-scale 0.1] [-workers 8] [-shards n] [-o BENCH_3.json]
-//	      [-baseline BENCH_3.json] [-tolerance 0.25] [-update]
+//	bench [-scale 0.1] [-workers 8] [-o BENCH_7.json]
+//	      [-baseline BENCH_7.json] [-tolerance 0.25] [-update]
+//	      [-min-suite-speedup 1.0]
 //
 // With -baseline it compares each experiment's ns/op against the
 // committed baseline and exits nonzero on a regression beyond the
 // tolerance. Baselines are machine-specific: regenerate with -update
-// when the reference hardware changes.
+// when the reference hardware changes. -min-suite-speedup fails the run
+// if any sweep point's suite-level speedup over P=1 drops below the
+// bound — the guard against reintroducing the sharding regression.
 package main
 
 import (
@@ -52,28 +58,49 @@ type SuiteComparison struct {
 	Speedup          float64 `json:"speedup"`
 	RecordTraceBytes uint64  `json:"record_trace_bytes"`
 	FusedTraceBytes  uint64  `json:"fused_trace_bytes"`
+	// FusedMBranchesPerS is the fused pipeline's end-to-end branch
+	// throughput (ROADMAP item #1 tracks this against 10 Mbranches/s).
+	FusedMBranchesPerS float64 `json:"fused_mbranches_per_s"`
 }
 
-// ShardingComparison contrasts the intra-benchmark serial hot paths
-// (shards=1, the exact pre-sharding code) against the sharded pipeline
-// (shards=N): once over a full suite run, and once as a direct profile
-// pass on one benchmark, where the shard tables' memory cost and the
-// merged pair count are also recorded. Output is byte-identical either
-// way; only time and memory differ.
+// ShardPoint is one P in the sharding sweep.
+type ShardPoint struct {
+	Shards int `json:"shards"`
+	// Clamped marks suite-level points where the harness clamped P to
+	// GOMAXPROCS (sharding beyond the machine's parallelism is pure
+	// overhead). A clamped point reuses the measurement of its
+	// effective P, so its suite speedup is 1.0 by construction; the
+	// profile-level columns always use exact sharding.
+	Clamped              bool    `json:"clamped"`
+	SuiteNs              int64   `json:"suite_ns"`
+	SuiteSpeedup         float64 `json:"suite_speedup"`
+	SuiteMBranchesPerS   float64 `json:"suite_mbranches_per_s"`
+	ProfileNs            int64   `json:"profile_ns"`
+	ProfileSpeedup       float64 `json:"profile_speedup"`
+	ProfileMBranchesPerS float64 `json:"profile_mbranches_per_s"`
+	// ShardTableBytes is the sharding-only overhead (staging batches
+	// and partition headers) — the memory the sharded mode costs on
+	// top of the counters themselves; 0 at P=1.
+	ShardTableBytes uint64 `json:"shard_table_bytes"`
+	// TableBytes is the absolute footprint of the interleave counter
+	// tables in either mode.
+	TableBytes uint64 `json:"table_bytes"`
+}
+
+// ShardingComparison sweeps the intra-benchmark hot paths over shard
+// counts: the full table+figure composition (fused, one benchmark
+// worker, so only intra-benchmark parallelism differs) and a direct
+// unfiltered profile pass on one benchmark. Output is byte-identical at
+// every P; only time and memory differ — the differential suites in
+// internal/profile enforce this, and the merged pair count is checked
+// for equality across the sweep here.
 type ShardingComparison struct {
-	Shards           int     `json:"shards"`
-	SuiteShards1Ns   int64   `json:"suite_shards1_ns"`
-	SuiteShardedNs   int64   `json:"suite_sharded_ns"`
-	SuiteSpeedup     float64 `json:"suite_speedup"`
-	ProfileBenchmark string  `json:"profile_benchmark"`
-	ProfileShards1Ns int64   `json:"profile_shards1_ns"`
-	ProfileShardedNs int64   `json:"profile_sharded_ns"`
-	ProfileSpeedup   float64 `json:"profile_speedup"`
-	ShardTableBytes  uint64  `json:"shard_table_bytes"`
-	MergedPairs      int     `json:"merged_pairs"`
+	ProfileBenchmark string       `json:"profile_benchmark"`
+	MergedPairs      int          `json:"merged_pairs"`
+	Sweep            []ShardPoint `json:"sweep"`
 }
 
-// Report is the BENCH_3.json schema.
+// Report is the BENCH_7.json schema.
 type Report struct {
 	Scale       float64            `json:"scale"`
 	GoMaxProcs  int                `json:"gomaxprocs"`
@@ -82,30 +109,27 @@ type Report struct {
 	Sharding    ShardingComparison `json:"sharding"`
 }
 
+// shardSweep is the sharding sweep's shard counts.
+var shardSweep = []int{1, 2, 4, 8}
+
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.1, "workload scale factor for the benchmarks")
-		workers   = flag.Int("workers", 8, "worker count for the parallel fused comparison")
-		shards    = flag.Int("shards", 0, "shard count for the sharding comparison (0 = GOMAXPROCS, floored at 2 so the comparison is real)")
-		out       = flag.String("o", "BENCH_3.json", "write the benchmark report here")
-		baseline  = flag.String("baseline", "", "compare against this baseline report")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
-		update    = flag.Bool("update", false, "overwrite the baseline with this run's report")
-		metrics   = flag.Bool("metrics", false, "instrument the comparison runs and dump the metrics registry (text encoding) to stderr")
+		scale      = flag.Float64("scale", 0.1, "workload scale factor for the benchmarks")
+		workers    = flag.Int("workers", 8, "worker count for the parallel fused comparison")
+		out        = flag.String("o", "BENCH_7.json", "write the benchmark report here")
+		baseline   = flag.String("baseline", "", "compare against this baseline report")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
+		update     = flag.Bool("update", false, "overwrite the baseline with this run's report")
+		metrics    = flag.Bool("metrics", false, "instrument the comparison runs and dump the metrics registry (text encoding) to stderr")
+		minSpeedup = flag.Float64("min-suite-speedup", 0, "fail if any sweep point's suite-level sharding speedup is below this (0 disables)")
 	)
 	flag.Parse()
-	if *shards <= 0 {
-		*shards = runtime.GOMAXPROCS(0)
-	}
-	if *shards < 2 {
-		*shards = 2
-	}
 
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	rep, err := measure(obs.SystemClock(), *scale, *workers, *shards, obs.New(reg))
+	rep, err := measure(obs.SystemClock(), *scale, *workers, obs.New(reg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -128,6 +152,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *minSpeedup > 0 {
+		for _, pt := range rep.Sharding.Sweep {
+			if pt.SuiteSpeedup < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "bench: suite speedup %.3f at shards=%d below required %.2f\n",
+					pt.SuiteSpeedup, pt.Shards, *minSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *baseline != "" && !*update {
 		if err := compare(*baseline, rep, *tolerance); err != nil {
@@ -188,7 +222,7 @@ func timeRun(clock obs.Clock, f func() error) (time.Duration, error) {
 	return clock.Now().Sub(start), nil
 }
 
-func measure(clock obs.Clock, scale float64, workers, shards int, m *obs.Metrics) (*Report, error) {
+func measure(clock obs.Clock, scale float64, workers int, m *obs.Metrics) (*Report, error) {
 	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	for _, e := range experiments() {
@@ -233,43 +267,57 @@ func measure(clock obs.Clock, scale float64, workers, shards int, m *obs.Metrics
 		return nil, err
 	}
 	rep.Suite = *suite
-	fmt.Printf("suite    serial/record %v, parallel(%d)/fused %v: %.2fx, trace bytes %d -> %d\n",
+	fmt.Printf("suite    serial/record %v, parallel(%d)/fused %v: %.2fx, trace bytes %d -> %d, fused %.2f Mbranches/s\n",
 		time.Duration(suite.SerialRecordNs), suite.Workers, time.Duration(suite.ParallelFusedNs),
-		suite.Speedup, suite.RecordTraceBytes, suite.FusedTraceBytes)
+		suite.Speedup, suite.RecordTraceBytes, suite.FusedTraceBytes, suite.FusedMBranchesPerS)
 
-	sharding, err := compareSharding(clock, scale, shards, m)
+	sharding, err := compareSharding(clock, scale, shardSweep, m)
 	if err != nil {
 		return nil, err
 	}
 	rep.Sharding = *sharding
-	fmt.Printf("sharding suite shards=1 %v vs shards=%d %v: %.2fx; profile %s %v vs %v: %.2fx, shard tables %d B, %d pairs\n",
-		time.Duration(sharding.SuiteShards1Ns), sharding.Shards, time.Duration(sharding.SuiteShardedNs), sharding.SuiteSpeedup,
-		sharding.ProfileBenchmark, time.Duration(sharding.ProfileShards1Ns), time.Duration(sharding.ProfileShardedNs),
-		sharding.ProfileSpeedup, sharding.ShardTableBytes, sharding.MergedPairs)
+	for _, pt := range sharding.Sweep {
+		clamp := ""
+		if pt.Clamped {
+			clamp = " (clamped)"
+		}
+		fmt.Printf("sharding P=%d%-10s suite %v %.2fx %.2f Mbr/s; profile %s %v %.2fx %.2f Mbr/s, overhead %d B, tables %d B\n",
+			pt.Shards, clamp, time.Duration(pt.SuiteNs), pt.SuiteSpeedup, pt.SuiteMBranchesPerS,
+			sharding.ProfileBenchmark, time.Duration(pt.ProfileNs), pt.ProfileSpeedup, pt.ProfileMBranchesPerS,
+			pt.ShardTableBytes, pt.TableBytes)
+	}
 	return rep, nil
 }
 
-// compareSharding measures the intra-benchmark hot paths at shards=1 vs
-// shards=N: the full table+figure composition (fused, one benchmark
-// worker, so only intra-benchmark parallelism differs), and a direct
-// unfiltered profile pass over the heaviest benchmark's branch stream,
-// where the shard tables' memory cost is also read.
-func compareSharding(clock obs.Clock, scale float64, shards int, m *obs.Metrics) (*ShardingComparison, error) {
-	runSuite := func(profileShards int) (time.Duration, error) {
+// compareSharding sweeps the intra-benchmark hot paths over the shard
+// counts in sweep: the full table+figure composition (fused, one
+// benchmark worker, so only intra-benchmark parallelism differs), and a
+// direct unfiltered profile pass over the heaviest benchmark's branch
+// stream, where the table memory costs are also read.
+//
+// The harness clamps suite-level sharding to GOMAXPROCS (running more
+// workers than cores is pure overhead), so sweep points beyond the
+// machine's parallelism are marked Clamped and reuse the measurement of
+// their effective P — by construction their suite speedup is that of
+// the clamp target. The profile pass always uses exact sharding.
+func compareSharding(clock obs.Clock, scale float64, sweep []int, m *obs.Metrics) (*ShardingComparison, error) {
+	type suiteRun struct {
+		ns       int64
+		branches uint64
+	}
+	maxP := runtime.GOMAXPROCS(0)
+	suiteByEff := make(map[int]suiteRun)
+	runSuite := func(profileShards int) (suiteRun, error) {
 		s := harness.NewSuite(harness.Config{
 			Scale: scale, Workers: 1, Fused: true, ProfileShards: profileShards, Metrics: m,
 		})
-		return timeRun(clock, func() error {
+		elapsed, err := timeRun(clock, func() error {
 			return harness.RunAll(s, io.Discard, false)
 		})
-	}
-	suite1, err := runSuite(1)
-	if err != nil {
-		return nil, err
-	}
-	suiteN, err := runSuite(shards)
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return suiteRun{}, err
+		}
+		return suiteRun{ns: elapsed.Nanoseconds(), branches: streamBranches(s)}, nil
 	}
 
 	const profileBench = "gcc" // largest static branch set in the suite
@@ -278,48 +326,68 @@ func compareSharding(clock obs.Clock, scale float64, shards int, m *obs.Metrics)
 		return nil, err
 	}
 	runCfg := workload.RunConfig{Input: workload.InputRef, Scale: scale}
-	runProfile := func(profileShards int) (time.Duration, *profile.Profiler, error) {
+
+	c := &ShardingComparison{ProfileBenchmark: profileBench, MergedPairs: -1}
+	var suiteBase, profBase int64
+	for _, p := range sweep {
+		eff := p
+		if eff > maxP {
+			eff = maxP
+		}
+		sr, ok := suiteByEff[eff]
+		if !ok {
+			if sr, err = runSuite(eff); err != nil {
+				return nil, err
+			}
+			suiteByEff[eff] = sr
+		}
+
 		prof := profile.NewProfiler(profileBench, workload.InputRef.Name,
-			profile.WithShards(profileShards), profile.WithMetrics(m.Profile()))
-		elapsed, err := timeRun(clock, func() error {
+			profile.WithShards(p), profile.WithMetrics(m.Profile()))
+		prof.Reserve(spec.StaticBranches())
+		var pairs int
+		profElapsed, err := timeRun(clock, func() error {
 			if _, err := spec.RunInto(runCfg, prof); err != nil {
 				return err
 			}
-			prof.Profile().Release()
+			merged := prof.Profile()
+			pairs = merged.Pairs.Len()
+			merged.Release()
 			return nil
 		})
 		if err != nil {
-			return 0, nil, err
+			return nil, err
 		}
-		return elapsed, prof, nil
-	}
-	prof1, _, err := runProfile(1)
-	if err != nil {
-		return nil, err
-	}
-	profN, shardedProf, err := runProfile(shards)
-	if err != nil {
-		return nil, err
-	}
-	merged := shardedProf.Profile()
-	pairs := merged.Pairs.Len()
-	merged.Release()
+		if c.MergedPairs < 0 {
+			c.MergedPairs = pairs
+		} else if pairs != c.MergedPairs {
+			return nil, fmt.Errorf("sharding sweep: merged pair count diverged at P=%d: %d vs %d", p, pairs, c.MergedPairs)
+		}
 
-	c := &ShardingComparison{
-		Shards:           shards,
-		SuiteShards1Ns:   suite1.Nanoseconds(),
-		SuiteShardedNs:   suiteN.Nanoseconds(),
-		ProfileBenchmark: profileBench,
-		ProfileShards1Ns: prof1.Nanoseconds(),
-		ProfileShardedNs: profN.Nanoseconds(),
-		ShardTableBytes:  shardedProf.ShardTableBytes(),
-		MergedPairs:      pairs,
-	}
-	if suiteN > 0 {
-		c.SuiteSpeedup = float64(suite1) / float64(suiteN)
-	}
-	if profN > 0 {
-		c.ProfileSpeedup = float64(prof1) / float64(profN)
+		pt := ShardPoint{
+			Shards:          p,
+			Clamped:         eff != p,
+			SuiteNs:         sr.ns,
+			ProfileNs:       profElapsed.Nanoseconds(),
+			ShardTableBytes: prof.ShardTableBytes(),
+			TableBytes:      prof.TableBytes(),
+		}
+		if sr.ns > 0 {
+			pt.SuiteMBranchesPerS = float64(sr.branches) / (float64(sr.ns) / 1e9) / 1e6
+		}
+		if pt.ProfileNs > 0 {
+			pt.ProfileMBranchesPerS = float64(prof.Branches()) / (float64(pt.ProfileNs) / 1e9) / 1e6
+		}
+		if p == sweep[0] {
+			suiteBase, profBase = sr.ns, pt.ProfileNs
+		}
+		if sr.ns > 0 {
+			pt.SuiteSpeedup = float64(suiteBase) / float64(sr.ns)
+		}
+		if pt.ProfileNs > 0 {
+			pt.ProfileSpeedup = float64(profBase) / float64(pt.ProfileNs)
+		}
+		c.Sweep = append(c.Sweep, pt)
 	}
 	return c, nil
 }
@@ -346,21 +414,21 @@ func streamBranches(s *harness.Suite) uint64 {
 // compareSuites runs the complete table+figure composition once per
 // pipeline and reports wall clock and retained trace memory.
 func compareSuites(clock obs.Clock, scale float64, workers int, m *obs.Metrics) (*SuiteComparison, error) {
-	run := func(cfg harness.Config) (time.Duration, uint64, error) {
+	run := func(cfg harness.Config) (time.Duration, uint64, uint64, error) {
 		s := harness.NewSuite(cfg)
 		elapsed, err := timeRun(clock, func() error {
 			return harness.RunAll(s, io.Discard, false)
 		})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
-		return elapsed, s.RetainedTraceBytes(), nil
+		return elapsed, s.RetainedTraceBytes(), streamBranches(s), nil
 	}
-	serialNs, recBytes, err := run(harness.Config{Scale: scale, Workers: 1, Metrics: m})
+	serialNs, recBytes, _, err := run(harness.Config{Scale: scale, Workers: 1, Metrics: m})
 	if err != nil {
 		return nil, err
 	}
-	fusedNs, fusedBytes, err := run(harness.Config{Scale: scale, Workers: workers, Fused: true, Metrics: m})
+	fusedNs, fusedBytes, fusedBranches, err := run(harness.Config{Scale: scale, Workers: workers, Fused: true, Metrics: m})
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +441,7 @@ func compareSuites(clock obs.Clock, scale float64, workers int, m *obs.Metrics) 
 	}
 	if fusedNs > 0 {
 		c.Speedup = float64(serialNs) / float64(fusedNs)
+		c.FusedMBranchesPerS = float64(fusedBranches) / (float64(fusedNs.Nanoseconds()) / 1e9) / 1e6
 	}
 	return c, nil
 }

@@ -49,6 +49,7 @@ func main() {
 	flag.BoolVar(&opts.quiet, "q", false, "suppress the summary line")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit findings as a JSON array instead of text lines")
 	flag.StringVar(&opts.baseline, "baseline", "", "module-relative baseline file; matching findings do not print or fail")
+	flag.BoolVar(&opts.checkBaseline, "check-baseline", false, "with -baseline, also fail on stale entries that no longer fire, so the baseline can only shrink")
 	flag.StringVar(&opts.writeBaseline, "write-baseline", "", "regenerate this module-relative baseline file from current findings and exit")
 	flag.Parse()
 	if opts.passFilter != "" && !knownPass(opts.passFilter) {
@@ -81,6 +82,7 @@ type options struct {
 	quiet         bool
 	jsonOut       bool
 	baseline      string
+	checkBaseline bool
 	writeBaseline string
 }
 
@@ -157,10 +159,12 @@ func run(root string, patterns []string, opts options, stdout, stderr io.Writer)
 	}
 
 	failing, baselined, advisory := 0, 0, 0
+	matched := make(map[string]bool)
 	var out []lint.Finding
 	for i, f := range findings {
 		if f.Severity.Fails() && baseline[lines[i]] {
 			baselined++
+			matched[lines[i]] = true
 			continue
 		}
 		out = append(out, f)
@@ -169,6 +173,27 @@ func run(root string, patterns []string, opts options, stdout, stderr io.Writer)
 		} else {
 			advisory++
 		}
+	}
+
+	// Burn-down enforcement: a baseline entry whose finding no longer
+	// fires is stale — the fix landed, so the entry must be removed
+	// (regenerate with -write-baseline). This makes the baseline
+	// monotonically shrinking: new findings fail above, stale ones fail
+	// here.
+	stale := 0
+	if opts.checkBaseline {
+		var gone []string
+		for line := range baseline {
+			if !matched[line] {
+				gone = append(gone, line)
+			}
+		}
+		sort.Strings(gone)
+		for _, line := range gone {
+			fmt.Fprintf(stdout, "stale baseline entry (finding fixed, regenerate the baseline): %s\n", line)
+		}
+		stale = len(gone)
+		failing += stale
 	}
 
 	if opts.jsonOut {
@@ -194,8 +219,13 @@ func run(root string, patterns []string, opts options, stdout, stderr io.Writer)
 		}
 	}
 	if !opts.quiet {
-		fmt.Fprintf(stderr, "reprolint: %d failing, %d advisory, %d baselined finding(s) in %d package(s)\n",
-			failing, advisory, baselined, len(pkgs))
+		if opts.checkBaseline {
+			fmt.Fprintf(stderr, "reprolint: %d failing (%d stale baseline), %d advisory, %d baselined finding(s) in %d package(s)\n",
+				failing, stale, advisory, baselined, len(pkgs))
+		} else {
+			fmt.Fprintf(stderr, "reprolint: %d failing, %d advisory, %d baselined finding(s) in %d package(s)\n",
+				failing, advisory, baselined, len(pkgs))
+		}
 	}
 	return failing, nil
 }

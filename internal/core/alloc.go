@@ -16,17 +16,69 @@ import (
 type AllocationMap struct {
 	// TableSize is the BHT entry count the map was built for.
 	TableSize int
-	// Index maps a branch's byte PC to its assigned entry.
+	// Index maps a branch's byte PC to its assigned entry. It is the
+	// construction/reporting representation; EntryFor reads a dense
+	// flattening built on first use, so Index must not be mutated after
+	// simulation starts.
 	Index map[uint64]int
 	// ReservedTaken and ReservedNotTaken are the entries set aside for
 	// biased branches when classification was used; -1 when unused.
 	ReservedTaken, ReservedNotTaken int
+
+	// dense flattens Index for the per-event hot path: entry at pc/4,
+	// -1 for unallocated. Unaligned or very large PCs (which the VM
+	// never emits) stay in Index and take the cold fallback.
+	dense  []int32
+	sealed bool
+}
+
+// allocMaxDenseWords bounds the dense flattening (4 MiB of int32s).
+const allocMaxDenseWords = 1 << 22
+
+// seal builds the dense lookup from Index. Allocate calls it; literal-
+// constructed maps (tests, external tools) are sealed lazily on the
+// first EntryFor.
+func (m *AllocationMap) seal() {
+	maxW := -1
+	for pc := range m.Index { //reprolint:allow hotpath one-time flattening on first lookup, never repeated
+		if w := pc >> 2; pc&3 == 0 && w < allocMaxDenseWords {
+			if int(w) > maxW {
+				maxW = int(w)
+			}
+		}
+	}
+	if maxW >= 0 {
+		m.dense = make([]int32, maxW+1) //reprolint:allow hotpath one-time flattening on first lookup, never repeated
+		for i := range m.dense {
+			m.dense[i] = -1
+		}
+		for pc, e := range m.Index { //reprolint:allow hotpath one-time flattening on first lookup, never repeated
+			if w := pc >> 2; pc&3 == 0 && w < allocMaxDenseWords {
+				m.dense[w] = int32(e)
+			}
+		}
+	}
+	m.sealed = true
 }
 
 // EntryFor returns the BHT entry for the branch at pc, falling back to
 // PC-modulo indexing for unallocated branches.
 func (m *AllocationMap) EntryFor(pc uint64) int {
-	if e, ok := m.Index[pc]; ok {
+	if !m.sealed {
+		m.seal()
+	}
+	if w := pc >> 2; pc&3 == 0 && w < uint64(len(m.dense)) {
+		if e := m.dense[w]; e >= 0 {
+			return int(e)
+		}
+		return ConventionalIndex(pc, m.TableSize)
+	}
+	return m.entrySlow(pc)
+}
+
+// entrySlow covers unaligned or out-of-range PCs via the map.
+func (m *AllocationMap) entrySlow(pc uint64) int {
+	if e, ok := m.Index[pc]; ok { //reprolint:allow hotpath cold fallback for unaligned or out-of-range pcs
 		return e
 	}
 	return ConventionalIndex(pc, m.TableSize)
@@ -103,27 +155,8 @@ func Allocate(p *profile.Profile, cfg AllocationConfig) (*Allocation, error) {
 	spec := graph.ColoringSpec{K: cfg.TableSize}
 	reservedT, reservedNT := -1, -1
 	if cls != nil {
-		// Section 5.2: drop conflicts between branches in the same
-		// highly biased class; their histories agree anyway.
-		for u := 0; u < g.N(); u++ {
-			for _, v := range g.SortedNeighbors(int32(u)) {
-				if int32(u) < v && cls.SameBiasedClass(int32(u), v) {
-					g.RemoveEdge(int32(u), v)
-				}
-			}
-		}
-		// Reserve two entries and pin biased branches to them.
-		reservedT, reservedNT = 0, 1
-		spec.Pinned = make(map[int32]int)
-		spec.FirstFree = 2
-		for id, c := range cls.Classes {
-			switch c {
-			case classify.BiasedTaken:
-				spec.Pinned[int32(id)] = reservedT
-			case classify.BiasedNotTaken:
-				spec.Pinned[int32(id)] = reservedNT
-			}
-		}
+		removeSameClassEdges(g, cls)
+		spec.Pinned, spec.FirstFree, reservedT, reservedNT = biasedPins(cls)
 	}
 
 	coloring, err := g.Color(spec)
@@ -140,6 +173,7 @@ func Allocate(p *profile.Profile, cfg AllocationConfig) (*Allocation, error) {
 	for id, pc := range p.PCs {
 		m.Index[pc] = coloring.Colors[id]
 	}
+	m.seal()
 
 	return &Allocation{
 		Map:            m,
@@ -148,6 +182,45 @@ func Allocate(p *profile.Profile, cfg AllocationConfig) (*Allocation, error) {
 		ConflictCost:   g.ConflictCost(coloring.Colors),
 		Classification: cls,
 	}, nil
+}
+
+// removeSameClassEdges applies the Section 5.2 refinement: conflicts
+// between branches in the same highly biased class are dropped; their
+// histories agree anyway.
+func removeSameClassEdges(g *graph.Graph, cls *classify.Classification) {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.SortedNeighbors(int32(u)) {
+			if int32(u) < v && cls.SameBiasedClass(int32(u), v) {
+				g.RemoveEdge(int32(u), v)
+			}
+		}
+	}
+}
+
+// biasedPins reserves two entries and pins biased branches to them.
+func biasedPins(cls *classify.Classification) (pinned map[int32]int, firstFree, reservedT, reservedNT int) {
+	reservedT, reservedNT = 0, 1
+	pinned = make(map[int32]int)
+	firstFree = 2
+	for id, c := range cls.Classes {
+		switch c {
+		case classify.BiasedTaken:
+			pinned[int32(id)] = reservedT
+		case classify.BiasedNotTaken:
+			pinned[int32(id)] = reservedNT
+		}
+	}
+	return pinned, firstFree, reservedT, reservedNT
+}
+
+// conventionalCostOn scores the baseline PC-modulo mapping at tableSize
+// on an already-built (and classification-pruned) conflict graph.
+func conventionalCostOn(g *graph.Graph, p *profile.Profile, tableSize int) uint64 {
+	colors := make([]int, p.NumBranches())
+	for id, pc := range p.PCs {
+		colors[id] = ConventionalIndex(pc, tableSize)
+	}
+	return g.ConflictCost(colors)
 }
 
 // ConventionalCost returns the conflict cost of the baseline PC-modulo
@@ -162,19 +235,9 @@ func ConventionalCost(p *profile.Profile, tableSize int, threshold uint64, cls *
 	}
 	g := p.BuildGraph(threshold)
 	if cls != nil {
-		for u := 0; u < g.N(); u++ {
-			for _, v := range g.SortedNeighbors(int32(u)) {
-				if int32(u) < v && cls.SameBiasedClass(int32(u), v) {
-					g.RemoveEdge(int32(u), v)
-				}
-			}
-		}
+		removeSameClassEdges(g, cls)
 	}
-	colors := make([]int, p.NumBranches())
-	for id, pc := range p.PCs {
-		colors[id] = ConventionalIndex(pc, tableSize)
-	}
-	return g.ConflictCost(colors)
+	return conventionalCostOn(g, p, tableSize)
 }
 
 // SizeSearchResult reports a required-BHT-size search (one row of
@@ -208,11 +271,20 @@ func RequiredBHTSize(p *profile.Profile, baselineSize int, cfg AllocationConfig)
 	if threshold == 0 {
 		threshold = DefaultThreshold
 	}
+	// Build the conflict graph and classification once: the coloring
+	// below never mutates the graph, and every probed size colors the
+	// same pruned graph. (The search used to rebuild both per size —
+	// a dozen redundant graph constructions per Table 3 row.)
+	g := p.BuildGraph(threshold)
 	var cls *classify.Classification
+	var pinned map[int32]int
+	firstFree := 0
 	if cfg.UseClassification {
 		cls = classify.Classify(p, cfg.classThresholds())
+		removeSameClassEdges(g, cls)
+		pinned, firstFree, _, _ = biasedPins(cls)
 	}
-	baseline := ConventionalCost(p, baselineSize, threshold, cls)
+	baseline := conventionalCostOn(g, p, baselineSize)
 
 	res := SizeSearchResult{BaselineCost: baseline, BaselineSize: baselineSize}
 
@@ -221,14 +293,12 @@ func RequiredBHTSize(p *profile.Profile, baselineSize int, cfg AllocationConfig)
 		minSize = 3
 	}
 	costAt := func(size int) (uint64, error) {
-		c := cfg
-		c.TableSize = size
-		a, err := Allocate(p, c)
+		coloring, err := g.Color(graph.ColoringSpec{K: size, Pinned: pinned, FirstFree: firstFree})
 		if err != nil {
 			return 0, err
 		}
 		res.Colorings++
-		return a.ConflictCost, nil
+		return g.ConflictCost(coloring.Colors), nil
 	}
 
 	// The baseline cost can be zero (tiny program); any size where the

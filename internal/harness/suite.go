@@ -122,6 +122,15 @@ func (c Config) Defaults() Config {
 	if c.ProfileShards <= 0 {
 		c.ProfileShards = runtime.GOMAXPROCS(0)
 	}
+	// Sharding the profiler beyond the machine's parallelism is pure
+	// overhead: the workers time-slice one another while the staging
+	// and hand-off costs stay. Clamp here (the suite's resolved
+	// config) rather than in the profiler, so direct profile.WithShards
+	// callers — differential tests, the bench sweep — keep exact
+	// control of P.
+	if max := runtime.GOMAXPROCS(0); c.ProfileShards > max {
+		c.ProfileShards = max
+	}
 	return c
 }
 
@@ -257,6 +266,7 @@ func (s *Suite) computeRecord(spec workload.Spec, input workload.InputSet) (*Art
 	prof := profile.NewProfiler(spec.Name, input.Name,
 		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards),
 		profile.WithMetrics(s.cfg.Metrics.Profile()))
+	prof.Reserve(spec.StaticBranches())
 	filter.Kept.Replay(prof)
 	prof.SetInstructions(stats.Instructions)
 	defer profSpan.End()
@@ -304,7 +314,8 @@ func (s *Suite) computeFused(spec workload.Spec, input workload.InputSet) (*Arti
 	prof := profile.NewProfiler(spec.Name, input.Name,
 		profile.WithWindow(window), profile.WithShards(s.cfg.ProfileShards),
 		profile.WithMetrics(s.cfg.Metrics.Profile()))
-	if _, err := spec.RunInto(runCfg, trace.FilterSink{Keep: keep, Sink: prof}); err != nil {
+	prof.Reserve(spec.StaticBranches())
+	if _, err := spec.RunInto(runCfg, trace.NewFilterSink(keep, prof)); err != nil {
 		return nil, fmt.Errorf("harness: profiling %s: %w", spec.Name, err)
 	}
 	prof.SetInstructions(stats.Instructions)
@@ -344,7 +355,7 @@ func (s *Suite) replayFiltered(a *Artifacts, sink vm.BranchSink) error {
 	}
 	if _, err := a.Spec.RunInto(workload.RunConfig{
 		Input: a.Input, Scale: s.cfg.Scale, Metrics: s.cfg.Metrics.VM(),
-	}, trace.FilterSink{Keep: a.keep, Sink: sink}); err != nil {
+	}, trace.NewFilterSink(a.keep, sink)); err != nil {
 		return fmt.Errorf("harness: replaying %s (filtered): %w", a.Spec.Name, err)
 	}
 	return nil

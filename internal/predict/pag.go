@@ -48,8 +48,14 @@ func (p *PAg) Name() string {
 func (p *PAg) historyAt(pc uint64) (int, uint32) {
 	idx := p.indexer.Index(pc)
 	if idx >= len(p.bht) {
-		// IdealIndexer grows; extend the BHT to match.
-		grown := make([]uint32, idx+1)
+		// IdealIndexer grows; extend the BHT to match. Growth is
+		// geometric so a stream of first encounters costs amortized
+		// O(1) per branch rather than a fresh copy each time.
+		n := 2 * len(p.bht)
+		if n <= idx {
+			n = idx + 1
+		}
+		grown := make([]uint32, n) //reprolint:allow hotpath amortized geometric BHT growth under the ideal indexer
 		copy(grown, p.bht)
 		p.bht = grown
 	}

@@ -128,18 +128,80 @@ func (AlwaysTaken) Predict(uint64) bool { return true }
 // Update implements Predictor.
 func (AlwaysTaken) Update(uint64, bool) {}
 
+// pcBitset is a fixed direction/membership table over word-aligned
+// branch PCs: bit pc/4 of set marks a known branch, the same bit of dir
+// holds its recorded direction. Built once from a map at construction,
+// it turns the per-event lookup into two word loads; unaligned or
+// out-of-range PCs (which no VM-generated stream produces) stay in the
+// originating map.
+type pcBitset struct {
+	set, dir []uint64
+	rest     map[uint64]bool
+}
+
+// pcBitsetMaxWords bounds the dense range (1<<22 word PCs → 512 KiB per
+// bitset at most, sized to the actual maximum in practice).
+const pcBitsetMaxWords = 1 << 22
+
+func newPCBitset(dirs map[uint64]bool) pcBitset {
+	maxW := -1
+	var rest map[uint64]bool
+	for pc := range dirs {
+		if w := pc >> 2; pc&3 == 0 && w < pcBitsetMaxWords {
+			if int(w) > maxW {
+				maxW = int(w)
+			}
+		} else {
+			if rest == nil {
+				rest = make(map[uint64]bool)
+			}
+			rest[pc] = dirs[pc]
+		}
+	}
+	b := pcBitset{rest: rest}
+	if maxW >= 0 {
+		words := maxW/64 + 1
+		b.set = make([]uint64, words)
+		b.dir = make([]uint64, words)
+		for pc, d := range dirs {
+			if w := pc >> 2; pc&3 == 0 && w < pcBitsetMaxWords {
+				b.set[w>>6] |= 1 << (w & 63)
+				if d {
+					b.dir[w>>6] |= 1 << (w & 63)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// lookup returns the recorded direction and whether pc is in the set.
+func (b *pcBitset) lookup(pc uint64) (dir, ok bool) {
+	if w := pc >> 2; pc&3 == 0 && w>>6 < uint64(len(b.set)) {
+		mask := uint64(1) << (w & 63)
+		return b.dir[w>>6]&mask != 0, b.set[w>>6]&mask != 0
+	}
+	return b.slow(pc)
+}
+
+func (b *pcBitset) slow(pc uint64) (bool, bool) {
+	d, ok := b.rest[pc] //reprolint:allow hotpath cold fallback for unaligned or out-of-range pcs
+	return d, ok
+}
+
 // ProfileStatic predicts each branch's profile-time majority direction —
 // the classic profile-guided static predictor (Ball & Larus style, by
 // measurement rather than heuristics). Branches unseen at profile time
 // default to taken.
 type ProfileStatic struct {
-	dir map[uint64]bool
+	dirs pcBitset
 }
 
 // NewProfileStatic builds the predictor from per-branch majority
-// directions.
+// directions. The map is flattened at construction; later mutation of
+// it does not affect the predictor.
 func NewProfileStatic(majorityTaken map[uint64]bool) *ProfileStatic {
-	return &ProfileStatic{dir: majorityTaken}
+	return &ProfileStatic{dirs: newPCBitset(majorityTaken)}
 }
 
 // Name implements Predictor.
@@ -147,7 +209,7 @@ func (p *ProfileStatic) Name() string { return "profile-static" }
 
 // Predict implements Predictor.
 func (p *ProfileStatic) Predict(pc uint64) bool {
-	if d, ok := p.dir[pc]; ok {
+	if d, ok := p.dirs.lookup(pc); ok {
 		return d
 	}
 	return true
@@ -162,14 +224,15 @@ func (p *ProfileStatic) Update(uint64, bool) {}
 // other branches to an underlying dynamic predictor, which then never
 // sees the biased branches.
 type HybridBiasedStatic struct {
-	staticDir map[uint64]bool // biased branches and their directions
+	staticDir pcBitset // biased branches and their directions
 	dynamic   Predictor
 }
 
 // NewHybridBiasedStatic wraps dynamic with static predictions for the
-// given biased branches.
+// given biased branches. The map is flattened at construction; later
+// mutation of it does not affect the predictor.
 func NewHybridBiasedStatic(biased map[uint64]bool, dynamic Predictor) *HybridBiasedStatic {
-	return &HybridBiasedStatic{staticDir: biased, dynamic: dynamic}
+	return &HybridBiasedStatic{staticDir: newPCBitset(biased), dynamic: dynamic}
 }
 
 // Name implements Predictor.
@@ -179,7 +242,7 @@ func (h *HybridBiasedStatic) Name() string {
 
 // Predict implements Predictor.
 func (h *HybridBiasedStatic) Predict(pc uint64) bool {
-	if d, ok := h.staticDir[pc]; ok {
+	if d, ok := h.staticDir.lookup(pc); ok {
 		return d
 	}
 	return h.dynamic.Predict(pc)
@@ -187,7 +250,7 @@ func (h *HybridBiasedStatic) Predict(pc uint64) bool {
 
 // Update implements Predictor.
 func (h *HybridBiasedStatic) Update(pc uint64, taken bool) {
-	if _, ok := h.staticDir[pc]; ok {
+	if _, ok := h.staticDir.lookup(pc); ok {
 		return
 	}
 	h.dynamic.Update(pc, taken)

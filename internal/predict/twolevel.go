@@ -108,7 +108,12 @@ func (p *PAs) Name() string {
 func (p *PAs) slot(pc uint64) (int, uint32, []Counter2) {
 	idx := p.indexer.Index(pc)
 	if idx >= len(p.bht) {
-		grown := make([]uint32, idx+1)
+		// Geometric growth: amortized O(1) per first encounter.
+		n := 2 * len(p.bht)
+		if n <= idx {
+			n = idx + 1
+		}
+		grown := make([]uint32, n) //reprolint:allow hotpath amortized geometric BHT growth under the ideal indexer
 		copy(grown, p.bht)
 		p.bht = grown
 	}
@@ -131,15 +136,22 @@ func (p *PAs) Update(pc uint64, taken bool) {
 // PAp keeps both levels per static branch: private history and a
 // private pattern table. It is the interference-free upper bound of the
 // per-address family (unbounded hardware, like IdealIndexer).
+//
+// Storage is flat: branch PCs translate to dense entry indexes through
+// a slice keyed by pc/4 (PCs are word-aligned instruction addresses),
+// histories live in one slice, and all private pattern tables share a
+// single arena in which entry e owns the 1<<histBits counters starting
+// at e<<histBits. No per-branch allocation happens after the arena's
+// amortized growth.
 type PAp struct {
 	histBits uint
 	histMask uint32
-	branches map[uint64]*papEntry
-}
-
-type papEntry struct {
-	hist uint32
-	pht  []Counter2
+	dense    []int32          // pc/4 → entry index, -1 unassigned
+	high     map[uint64]int32 // unaligned or out-of-range PCs (cold)
+	hist     []uint32         // per-entry local history
+	phts     []Counter2       // arena: entry e's table is phts[e<<histBits:(e+1)<<histBits]
+	segTpl   []Counter2       // WeakTaken-initialized template for one arena segment
+	n        int32
 }
 
 // NewPAp builds a PAp with histBits of local history per branch.
@@ -147,40 +159,79 @@ func NewPAp(histBits uint) (*PAp, error) {
 	if histBits < 1 || histBits > 20 {
 		return nil, fmt.Errorf("predict: PAp history bits %d outside [1,20]", histBits)
 	}
+	tpl := make([]Counter2, 1<<histBits)
+	for i := range tpl {
+		tpl[i] = WeakTaken
+	}
 	return &PAp{
 		histBits: histBits,
 		histMask: uint32(1<<histBits - 1),
-		branches: make(map[uint64]*papEntry),
+		segTpl:   tpl,
 	}, nil
 }
 
 // Name implements Predictor.
 func (p *PAp) Name() string { return fmt.Sprintf("PAp(h=%d)", p.histBits) }
 
-func (p *PAp) entry(pc uint64) *papEntry {
-	e := p.branches[pc]
-	if e == nil {
-		e = &papEntry{pht: make([]Counter2, 1<<p.histBits)}
-		for i := range e.pht {
-			e.pht[i] = WeakTaken
+func (p *PAp) entry(pc uint64) int {
+	if w := pc >> 2; pc&3 == 0 && w < uint64(len(p.dense)) {
+		if e := p.dense[w]; e >= 0 {
+			return int(e)
 		}
-		p.branches[pc] = e
 	}
-	return e
+	return p.assign(pc)
+}
+
+// assign handles a branch's first encounter (and the cold fallback for
+// unaligned PCs): allocate the next entry, its history word, and its
+// arena segment, pre-set to WeakTaken.
+func (p *PAp) assign(pc uint64) int {
+	e := p.n
+	if w := pc >> 2; pc&3 == 0 && w < idealMaxDenseWords {
+		if w >= uint64(len(p.dense)) {
+			n := 2 * len(p.dense)
+			if n <= int(w) {
+				n = int(w) + 1
+			}
+			if n < 1024 {
+				n = 1024
+			}
+			grown := make([]int32, n) //reprolint:allow hotpath amortized geometric growth of the dense pc translation
+			for i := range grown {
+				grown[i] = -1
+			}
+			copy(grown, p.dense)
+			p.dense = grown
+		}
+		p.dense[w] = e
+	} else {
+		if ee, ok := p.high[pc]; ok { //reprolint:allow hotpath cold fallback for unaligned or out-of-range pcs
+			return int(ee)
+		}
+		if p.high == nil {
+			p.high = make(map[uint64]int32) //reprolint:allow hotpath cold fallback for unaligned or out-of-range pcs
+		}
+		p.high[pc] = e //reprolint:allow hotpath cold fallback for unaligned or out-of-range pcs
+	}
+	p.n++
+	p.hist = append(p.hist, 0)           //reprolint:allow hotpath amortized arena growth on first encounter of a branch
+	p.phts = append(p.phts, p.segTpl...) //reprolint:allow hotpath amortized arena growth on first encounter of a branch
+	return int(e)
 }
 
 // Predict implements Predictor.
 func (p *PAp) Predict(pc uint64) bool {
 	e := p.entry(pc)
-	return e.pht[e.hist&p.histMask].Taken()
+	base := e << p.histBits
+	return p.phts[base+int(p.hist[e]&p.histMask)].Taken()
 }
 
 // Update implements Predictor.
 func (p *PAp) Update(pc uint64, taken bool) {
 	e := p.entry(pc)
-	i := e.hist & p.histMask
-	e.pht[i] = e.pht[i].Update(taken)
-	e.hist = ((e.hist << 1) | b2i(taken)) & p.histMask
+	i := e<<p.histBits + int(p.hist[e]&p.histMask)
+	p.phts[i] = p.phts[i].Update(taken)
+	p.hist[e] = ((p.hist[e] << 1) | b2i(taken)) & p.histMask
 }
 
 // Agree implements the agree predictor of Sprangle et al. (ISCA 1997),

@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzPackedPairTable drives a random insert/merge sequence against the
+// packed flat table and checks the result against a reference Go map.
+// The input stream is decoded 9 bytes at a time — an 8-byte key and an
+// opcode byte that picks the destination table, the delta, and whether
+// the key is folded into a small colliding range — so a single input
+// exercises probe chains, growth, word-level clears, and the
+// Range-into-Add merge path that the shard drain uses.
+func FuzzPackedPairTable(f *testing.F) {
+	seed := make([]byte, 0, 9*16)
+	for i := 0; i < 16; i++ {
+		var rec [9]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)*0x9e3779b97f4a7c15)
+		rec[8] = byte(i * 37)
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+	f.Add([]byte("0123456789abcdefghijklmnopqrstuvwxyz"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nTables = 4
+		tables := make([]*PairCounts, nTables)
+		for i := range tables {
+			tables[i] = NewPairCounts(0)
+		}
+		ref := make(map[uint64]uint64)
+		for len(data) >= 9 {
+			key := binary.LittleEndian.Uint64(data)
+			op := data[8]
+			data = data[9:]
+			if op&1 == 0 {
+				// Fold half the keys into a small range so the same key
+				// lands in several tables and merge hits the Add-to-
+				// existing path, not just fresh inserts.
+				key %= 1 << 14
+			}
+			if key == 0 {
+				key = 1 // key 0 is the empty-slot sentinel
+			}
+			delta := uint64(op>>4) + 1
+			tables[int(op>>1)%nTables].Add(key, delta)
+			ref[key] += delta
+		}
+
+		// Merge all tables into one the way the shard drain does:
+		// Range on the source, Add on the destination.
+		merged := NewPairCounts(0)
+		for _, tb := range tables {
+			tb.Range(func(k, v uint64) bool {
+				merged.Add(k, v)
+				return true
+			})
+		}
+
+		if merged.Len() != len(ref) {
+			t.Fatalf("merged Len = %d, reference map has %d keys", merged.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got := merged.Get(k); got != v {
+				t.Fatalf("merged Get(%#x) = %d, want %d", k, got, v)
+			}
+		}
+		seen := 0
+		merged.Range(func(k, v uint64) bool {
+			if ref[k] != v {
+				t.Fatalf("merged Range yields %#x:%d, reference has %d", k, v, ref[k])
+			}
+			seen++
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("merged Range visited %d of %d keys", seen, len(ref))
+		}
+
+		// Reset must leave each table reusable with its allocation.
+		for _, tb := range tables {
+			tb.Reset()
+			if tb.Len() != 0 {
+				t.Fatal("Reset left entries behind")
+			}
+			tb.Add(42, 1)
+			if tb.Get(42) != 1 {
+				t.Fatal("table broken after Reset")
+			}
+		}
+	})
+}
+
+// TestMergeOrderInvariance is the determinism property behind the shard
+// drain: merging worker tables in any order yields the identical drained
+// table. Pair counts are commutative sums, and the canonical dump is
+// layout-independent, so all 120 permutations of five overlapping tables
+// must agree byte for byte.
+func TestMergeOrderInvariance(t *testing.T) {
+	const k = 5
+	r := rng.New(99)
+	tables := make([]*PairCounts, k)
+	for i := range tables {
+		tables[i] = NewPairCounts(0)
+		// Overlapping keyspace: most keys appear in several tables.
+		for j := 0; j < 2000; j++ {
+			key := uint64(r.Intn(700) + 1)
+			tables[i].Add(key, uint64(r.Intn(9)+1))
+		}
+	}
+
+	mergeDump := func(order []int) string {
+		out := NewPairCounts(0)
+		for _, i := range order {
+			tables[i].Range(func(key, v uint64) bool {
+				out.Add(key, v)
+				return true
+			})
+		}
+		return pairDump(out)
+	}
+
+	var want string
+	perms := 0
+	var permute func(order []int, n int)
+	permute = func(order []int, n int) {
+		if n == 1 {
+			got := mergeDump(order)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("merge order %v produced a different drained table", order)
+			}
+			perms++
+			return
+		}
+		for i := 0; i < n; i++ {
+			order[i], order[n-1] = order[n-1], order[i]
+			permute(order, n-1)
+			order[i], order[n-1] = order[n-1], order[i]
+		}
+	}
+	permute([]int{0, 1, 2, 3, 4}, k)
+	if perms != 120 {
+		t.Fatalf("checked %d permutations, want 120", perms)
+	}
+	if want == "" {
+		t.Fatal("empty canonical dump")
+	}
+}
+
+// TestShardDrainOrderInvariance checks the same property one level up:
+// profilers whose shard counts force different worker partitions and
+// merge orders still drain to identical profiles.
+func TestShardDrainOrderInvariance(t *testing.T) {
+	var dumps []string
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		p := NewProfiler("synth", "ref", WithShards(shards))
+		synthStream(20_000, 1234, p)
+		prof := p.Profile()
+		dumps = append(dumps, fmt.Sprintf("branches=%d\n%s", prof.NumBranches(), pairDump(prof.Pairs)))
+		prof.Release()
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			t.Fatalf("drained profile differs between shard configs 0 and %d", i)
+		}
+	}
+}

@@ -16,6 +16,14 @@ import (
 // smaller id into the high word and ids in a pair are distinct, so the
 // low word (the larger id) is nonzero.
 //
+// The keys and values live in one backing slab (keys first, values
+// second), so a table costs a single allocation, clears with one
+// word-level clear(), and grows without a second make. Capacity is
+// exact, not rounded to a power of two: slots are selected by
+// multiply-shift range reduction (the "fastrange" idiom), so a table
+// sized for n pairs allocates ~4n/3 slots instead of up to 8n/3 — the
+// extraction table for a large benchmark halves.
+//
 // Each table hashes with a per-instance seed. This is not paranoia:
 // Range yields keys in slot order — i.e. sorted by hash — and feeding
 // one table's Range into another table's Add (as Merge does) would,
@@ -24,15 +32,16 @@ import (
 // that order and the copy turns quadratic; distinct seeds decorrelate
 // the orders and keep inserts O(1).
 type PairCounts struct {
-	keys []uint64
-	vals []uint64
+	slab []uint64
+	keys []uint64 // slab[:size]
+	vals []uint64 // slab[size:]
 	n    int
 	seed uint64
 }
 
 const (
 	pairMinCap   = 1 << 10
-	pairMaxLoadN = 3 // grow when n*4 > len*3 (load factor 0.75)
+	pairMaxLoadN = 3 // grow when n*4 > size*3 (load factor 0.75)
 	pairMaxLoadD = 4
 )
 
@@ -48,18 +57,25 @@ func newPairSeed() uint64 {
 	return x ^ (x >> 31)
 }
 
-// NewPairCounts returns a table pre-sized for roughly capacityHint
-// entries (0 picks a small default).
+// NewPairCounts returns a table pre-sized for capacityHint entries
+// (0 picks a small default). Sizing is exact: the table holds at least
+// capacityHint pairs before its first grow.
 func NewPairCounts(capacityHint int) *PairCounts {
-	size := pairMinCap
-	for size*pairMaxLoadN < capacityHint*pairMaxLoadD {
-		size *= 2
+	size := capacityHint*pairMaxLoadD/pairMaxLoadN + 1
+	if size < pairMinCap {
+		size = pairMinCap
 	}
-	return &PairCounts{
-		keys: make([]uint64, size),
-		vals: make([]uint64, size),
-		seed: newPairSeed(),
-	}
+	t := &PairCounts{seed: newPairSeed()}
+	t.alloc(size)
+	return t
+}
+
+// alloc installs a zeroed slab of the given slot count: one backing
+// allocation for both halves.
+func (t *PairCounts) alloc(size int) {
+	t.slab = make([]uint64, 2*size) //reprolint:allow hotpath single-slab table allocation: construction or amortized doubling, never steady state
+	t.keys = t.slab[:size:size]
+	t.vals = t.slab[size:]
 }
 
 // Len returns the number of distinct pairs stored.
@@ -68,12 +84,10 @@ func (t *PairCounts) Len() int { return t.n }
 // Cap returns the number of entries the table can hold before growing.
 func (t *PairCounts) Cap() int { return len(t.keys) * pairMaxLoadN / pairMaxLoadD }
 
-// Reset clears the table for reuse, keeping its allocation and seed.
+// Reset clears the table for reuse — one word-level clear of the slab —
+// keeping its allocation and seed.
 func (t *PairCounts) Reset() {
-	for i := range t.keys {
-		t.keys[i] = 0
-		t.vals[i] = 0
-	}
+	clear(t.slab)
 	t.n = 0
 }
 
@@ -107,10 +121,13 @@ func PutPairCounts(t *PairCounts) {
 }
 
 // slot hashes the key into the table: seeded xor, Fibonacci multiply,
-// top bits.
-func (t *PairCounts) slot(key uint64) uint64 {
+// then multiply-shift range reduction onto the exact (not power-of-two)
+// slot count. Reduction is monotone in the hash, which keeps grow's
+// slot-order rehash a linear, clustering-free pass.
+func (t *PairCounts) slot(key uint64) int {
 	h := (key ^ t.seed) * 0x9e3779b97f4a7c15
-	return h >> (64 - uint(bits.TrailingZeros(uint(len(t.keys)))))
+	hi, _ := bits.Mul64(h, uint64(len(t.keys)))
+	return int(hi)
 }
 
 // Add increments the pair key's count by delta.
@@ -119,9 +136,8 @@ func (t *PairCounts) Add(key uint64, delta uint64) {
 		panic("profile: PairCounts key 0 is reserved")
 	}
 	if (t.n+1)*pairMaxLoadD > len(t.keys)*pairMaxLoadN {
-		t.grow()
+		t.grow() //reprolint:allow hotpath amortized doubling; extraction tables are pre-sized exactly and never enter it
 	}
-	mask := uint64(len(t.keys) - 1)
 	i := t.slot(key)
 	for {
 		k := t.keys[i]
@@ -135,13 +151,14 @@ func (t *PairCounts) Add(key uint64, delta uint64) {
 			t.n++
 			return
 		}
-		i = (i + 1) & mask
+		if i++; i == len(t.keys) {
+			i = 0
+		}
 	}
 }
 
 // Get returns the count for key (0 if absent).
 func (t *PairCounts) Get(key uint64) uint64 {
-	mask := uint64(len(t.keys) - 1)
 	i := t.slot(key)
 	for {
 		k := t.keys[i]
@@ -151,7 +168,9 @@ func (t *PairCounts) Get(key uint64) uint64 {
 		if k == 0 {
 			return 0
 		}
-		i = (i + 1) & mask
+		if i++; i == len(t.keys) {
+			i = 0
+		}
 	}
 }
 
@@ -170,29 +189,33 @@ func (t *PairCounts) Range(f func(key uint64, count uint64) bool) {
 
 // Clone returns a deep copy (sharing the seed; layouts stay identical).
 func (t *PairCounts) Clone() *PairCounts {
-	return &PairCounts{
-		keys: append([]uint64(nil), t.keys...),
-		vals: append([]uint64(nil), t.vals...),
+	size := len(t.keys)
+	c := &PairCounts{
+		slab: append([]uint64(nil), t.slab...),
 		n:    t.n,
 		seed: t.seed,
 	}
+	c.keys = c.slab[:size:size]
+	c.vals = c.slab[size:]
+	return c
 }
 
-// grow doubles the table. Rehashing iterates the old slots in hash
-// order of the *same* seed, so reinserted keys land in nondecreasing
-// slots of the doubled table — a linear, clustering-free pass.
+// grow doubles the table in one backing allocation. Rehashing iterates
+// the old slots in hash order of the *same* seed, and the range
+// reduction is monotone, so reinserted keys land in nondecreasing slots
+// of the doubled table — a linear, clustering-free pass.
 func (t *PairCounts) grow() {
 	oldKeys, oldVals := t.keys, t.vals
-	t.keys = make([]uint64, len(oldKeys)*2)
-	t.vals = make([]uint64, len(oldVals)*2)
-	mask := uint64(len(t.keys) - 1)
+	t.alloc(len(oldKeys) * 2) //reprolint:allow hotpath amortized doubling; extraction tables are pre-sized exactly and never enter it
 	for j, k := range oldKeys {
 		if k == 0 {
 			continue
 		}
 		i := t.slot(k)
 		for t.keys[i] != 0 {
-			i = (i + 1) & mask
+			if i++; i == len(t.keys) {
+				i = 0
+			}
 		}
 		t.keys[i] = k
 		t.vals[i] = oldVals[j]

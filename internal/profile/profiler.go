@@ -13,36 +13,49 @@ import "repro/internal/obs"
 // and A moves to the front. Cost per dynamic branch is A's reuse
 // distance, which Table 2 shows is bounded by the (small) working set
 // size in practice.
+//
+// The hot path is flat throughout: pc resolves to a dense id through a
+// direct-indexed table (no map), the recency list is a contiguous
+// []int32 scanned forward (no pointer chasing), and interleave counts
+// accumulate in packed open-addressed per-branch tables (one uint64 per
+// slot, no Go map). First-touch discovery and table growth are the only
+// allocating paths and each runs O(static branches) times per run.
 type Profiler struct {
 	benchmark string
 	inputSet  string
 	window    int
 	numShards int
 
-	ids map[uint64]int32 // pc -> dense id
+	// Dense pc -> id translation. VM branch addresses are word-aligned
+	// instruction indexes, so idOf is indexed by pc/4 and covers the
+	// program text directly; highIDs is the fallback for unaligned or
+	// far-out-of-range addresses fed by synthetic tests.
+	idOf    []int32
+	highIDs map[uint64]int32
 
 	pcs   []uint64
 	exec  []uint64
 	taken []uint64
 
-	// Move-to-front list over ids; -1 terminates.
-	head int32
-	next []int32
-	prev []int32
+	// Move-to-front (recency) list, stored flat: the live list is
+	// list[off:], most recent first. A branch moves to the front by a
+	// forward scan (which is also the interleave-pair emission) followed
+	// by a word-level memmove of the prefix; first touches prepend into
+	// the spare room below off.
+	list []int32
+	off  int
 	in   []bool
 
-	// Per-branch neighbor counters: nbrs[id] counts interleavings of id
-	// with each partner observed while id executes. One unordered pair
-	// (a,b) accumulates partly in a's counter and partly in b's; the
-	// halves are summed at extraction. Keeping the counter per branch
-	// makes the hot loop's working set the size of one branch's
-	// neighborhood (a few KB, cache-resident) instead of the global
-	// pair population.
-	nbrs []nbrCounter
-
-	// shards is the sharded accumulation backend (WithShards > 1): the
-	// scan emits pair-key increments that fan out to shard-local tables
-	// applied by worker goroutines. nil selects the serial nbrs path.
+	// shards is the accumulation engine (shard.go): the scan emits each
+	// event's partner prefix as one bulk copy into a staging batch, and
+	// batches are applied to per-branch neighbor counters grouped by
+	// destination — synchronously with one shard, by worker goroutines
+	// with more. nbrOf(id) reads a branch's counter in either mode.
+	// One unordered pair (a,b) accumulates partly in a's counter and
+	// partly in b's; the halves are summed at extraction. The per-branch
+	// split plus grouped apply keeps the increment loop's working set to
+	// one branch's neighborhood (a few KB, cache-resident) instead of
+	// the global pair population.
 	shards *pairShards
 
 	// metrics is the optional observability bundle; mEvents and mPairInc
@@ -56,35 +69,48 @@ type Profiler struct {
 	instructions uint64
 }
 
-// nbrCounter is a small open-addressed int32->uint32 counter. Key -1
-// marks an empty slot (ids are non-negative).
+// maxDenseWords bounds the direct-indexed pc table: addresses below
+// maxDenseWords*4 (the entire generated-program space) translate with
+// one load; anything above falls back to the highIDs map so adversarial
+// synthetic pcs cannot balloon the table.
+const maxDenseWords = 1 << 22
+
+// nbrCounter is a small open-addressed counter from partner id to
+// interleave count, packed one entry per uint64 slot: (id+1) in the
+// high word, count in the low word. Slot 0 means empty (ids are
+// non-negative, so id+1 is never 0). Packing halves the cache lines
+// touched per increment versus parallel key/value arrays — the
+// increment is the profiler's innermost operation.
 type nbrCounter struct {
-	keys []int32
-	vals []uint32
-	n    int
+	slots []uint64
+	n     int
 }
 
+const nbrMinCap = 8
+
+// nbrHash mixes a branch id for slot selection: Fibonacci multiply plus
+// an xor-fold so the masked low bits see the high ones.
+func nbrHash(key int32) uint32 {
+	h := uint32(key) * 0x9e3779b9
+	return h ^ h>>15
+}
+
+// add increments the count for partner key.
 func (c *nbrCounter) add(key int32) {
-	if c.keys == nil {
-		c.keys = make([]int32, 8)
-		c.vals = make([]uint32, 8)
-		for i := range c.keys {
-			c.keys[i] = -1
-		}
-	} else if (c.n+1)*4 > len(c.keys)*3 {
-		c.grow()
+	if (c.n+1)*4 > len(c.slots)*3 {
+		c.grow() //reprolint:allow hotpath amortized geometric growth, O(log neighborhood) times per branch
 	}
-	mask := uint32(len(c.keys) - 1)
-	i := (uint32(key) * 0x9e3779b9) & mask
+	mask := uint32(len(c.slots) - 1)
+	i := nbrHash(key) & mask
+	kp := uint64(uint32(key)) + 1
 	for {
-		k := c.keys[i]
-		if k == key {
-			c.vals[i]++
+		s := c.slots[i]
+		if s>>32 == kp {
+			c.slots[i] = s + 1
 			return
 		}
-		if k == -1 {
-			c.keys[i] = key
-			c.vals[i] = 1
+		if s == 0 {
+			c.slots[i] = kp<<32 | 1
 			c.n++
 			return
 		}
@@ -92,54 +118,65 @@ func (c *nbrCounter) add(key int32) {
 	}
 }
 
+// grow doubles the slot array (allocating the initial one on first
+// use) and rehashes. Runs O(log final-size) times per branch over a
+// whole profiling run; the steady state never enters it.
 func (c *nbrCounter) grow() {
-	oldKeys, oldVals := c.keys, c.vals
-	c.keys = make([]int32, len(oldKeys)*2)
-	c.vals = make([]uint32, len(oldVals)*2)
-	for i := range c.keys {
-		c.keys[i] = -1
+	old := c.slots
+	size := nbrMinCap
+	if len(old) > 0 {
+		size = len(old) * 2
 	}
-	mask := uint32(len(c.keys) - 1)
-	for j, k := range oldKeys {
-		if k == -1 {
+	c.slots = make([]uint64, size) //reprolint:allow hotpath amortized geometric growth, O(log neighborhood) times per branch
+	mask := uint32(size - 1)
+	for _, s := range old {
+		if s == 0 {
 			continue
 		}
-		i := (uint32(k) * 0x9e3779b9) & mask
-		for c.keys[i] != -1 {
+		i := nbrHash(int32(uint32(s>>32)-1)) & mask
+		for c.slots[i] != 0 {
 			i = (i + 1) & mask
 		}
-		c.keys[i] = k
-		c.vals[i] = oldVals[j]
+		c.slots[i] = s
 	}
 }
 
-// has reports whether key is stored.
-func (c *nbrCounter) has(key int32) bool {
-	if c.keys == nil {
-		return false
+// get returns the count stored for key (0 if absent).
+func (c *nbrCounter) get(key int32) uint32 {
+	if len(c.slots) == 0 {
+		return 0
 	}
-	mask := uint32(len(c.keys) - 1)
-	i := (uint32(key) * 0x9e3779b9) & mask
+	mask := uint32(len(c.slots) - 1)
+	i := nbrHash(key) & mask
+	kp := uint64(uint32(key)) + 1
 	for {
-		k := c.keys[i]
-		if k == key {
-			return true
+		s := c.slots[i]
+		if s>>32 == kp {
+			return uint32(s)
 		}
-		if k == -1 {
-			return false
+		if s == 0 {
+			return 0
 		}
 		i = (i + 1) & mask
 	}
 }
 
-// each calls f for every (key, count) stored.
+// has reports whether key is stored.
+func (c *nbrCounter) has(key int32) bool { return c.get(key) != 0 }
+
+// each calls f for every (key, count) stored, in slot order. Insertion
+// order is deterministic for a deterministic event stream, so slot
+// order is too — extraction does not need to sort.
 func (c *nbrCounter) each(f func(key int32, count uint32)) {
-	for i, k := range c.keys {
-		if k != -1 {
-			f(k, c.vals[i])
+	for _, s := range c.slots {
+		if s != 0 {
+			f(int32(uint32(s>>32)-1), uint32(s))
 		}
 	}
 }
+
+// bytes reports the slot array's footprint.
+func (c *nbrCounter) bytes() uint64 { return uint64(len(c.slots)) * 8 }
 
 // Option configures a Profiler.
 type Option func(*Profiler)
@@ -153,12 +190,12 @@ func WithWindow(depth int) Option {
 	return func(p *Profiler) { p.window = depth }
 }
 
-// WithShards selects how many shard-local pair tables accumulate the
-// interleave increments. n <= 1 keeps the serial per-branch counters —
-// the exact pre-sharding code path. n > 1 fans the scan's increments out
-// to n tables, each owned by a worker goroutine; the merged profile is
-// identical for every n because pair increments are commutative and each
-// key always routes to the same shard (DESIGN.md §11).
+// WithShards selects how many workers accumulate the interleave
+// increments. n <= 1 keeps the serial per-branch counters — the exact
+// pre-sharding code path. n > 1 partitions the counters by executing
+// branch id across n worker goroutines; the merged profile is identical
+// for every n because each branch's counter receives exactly the same
+// increment sequence it would serially (DESIGN.md §15).
 func WithShards(n int) Option {
 	return func(p *Profiler) {
 		if n > 1 {
@@ -179,8 +216,6 @@ func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 	p := &Profiler{
 		benchmark: benchmark,
 		inputSet:  inputSet,
-		ids:       make(map[uint64]int32),
-		head:      -1,
 	}
 	for _, o := range opts {
 		o(p)
@@ -189,14 +224,35 @@ func NewProfiler(benchmark, inputSet string, opts ...Option) *Profiler {
 		p.mEvents = p.metrics.Events
 		p.mPairInc = p.metrics.PairIncrements
 	}
-	if p.numShards > 1 {
-		p.shards = newPairShards(p.numShards)
-		if p.metrics != nil {
-			p.shards.batches = p.metrics.ShardBatches
-			p.shards.queueMax = p.metrics.ShardQueueMax
-		}
+	n := p.numShards
+	if n < 1 {
+		n = 1
+	}
+	p.shards = newPairShards(n)
+	if p.metrics != nil {
+		// Serial mode runs the same staging engine, so batch applies are
+		// counted at every P; queue depth only exists with workers.
+		p.shards.batches = p.metrics.ShardBatches
+		p.shards.queueMax = p.metrics.ShardQueueMax
 	}
 	return p
+}
+
+// Reserve pre-sizes the per-branch state for n static branches, so
+// first-touch discovery never reallocates mid-run. Callers that know
+// the workload (harness, bench) reserve from Spec.StaticBranches.
+func (p *Profiler) Reserve(n int) {
+	if n <= cap(p.pcs) {
+		return
+	}
+	p.pcs = append(make([]uint64, 0, n), p.pcs...)
+	p.exec = append(make([]uint64, 0, n), p.exec...)
+	p.taken = append(make([]uint64, 0, n), p.taken...)
+	p.in = append(make([]bool, 0, n), p.in...)
+	live := p.list[p.off:]
+	list := make([]int32, n+len(live))
+	copy(list[n:], live)
+	p.list, p.off = list, n
 }
 
 // Window returns the configured scan window (0 = unbounded).
@@ -204,10 +260,7 @@ func (p *Profiler) Window() int { return p.window }
 
 // Shards returns the configured shard count (1 = serial).
 func (p *Profiler) Shards() int {
-	if p.shards == nil {
-		return 1
-	}
-	return p.numShards
+	return p.shards.p
 }
 
 // Branch consumes one dynamic branch event: first-touch discovery,
@@ -216,17 +269,11 @@ func (p *Profiler) Shards() int {
 //
 //reprolint:hotpath profiler pair-increment scan
 func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
-	id, ok := p.ids[pc]
-	if !ok {
-		id = int32(len(p.pcs))
-		p.ids[pc] = id
-		p.pcs = append(p.pcs, pc)
-		p.exec = append(p.exec, 0)
-		p.taken = append(p.taken, 0)
-		p.next = append(p.next, -1)
-		p.prev = append(p.prev, -1)
-		p.in = append(p.in, false)
-		p.nbrs = append(p.nbrs, nbrCounter{})
+	var id int32
+	if w := pc >> 2; pc&3 == 0 && w < uint64(len(p.idOf)) && p.idOf[w] >= 0 {
+		id = p.idOf[w]
+	} else {
+		id = p.intern(pc)
 	}
 	p.exec[id]++
 	if taken {
@@ -240,71 +287,153 @@ func (p *Profiler) Branch(pc uint64, taken bool, icount uint64) {
 
 	if p.in[id] {
 		// Count interleavings: every branch ahead of id in the recency
-		// list ran since id's previous execution.
-		depth := 0
-		if p.shards != nil {
-			if !p.shards.running {
-				p.shards.start()
-			}
-			for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
-				if p.window > 0 && depth >= p.window {
-					break
-				}
-				p.shards.inc(PairKey(id, cur))
-				depth++
-			}
-		} else {
-			nbr := &p.nbrs[id]
-			for cur := p.head; cur != -1 && cur != id; cur = p.next[cur] {
-				if p.window > 0 && depth >= p.window {
-					break
-				}
-				nbr.add(cur)
-				depth++
-			}
+		// list ran since id's previous execution. The scan doubles as
+		// the pair emission — partners live[0:emit] are exactly the
+		// interleave set (clipped to the window).
+		live := p.list[p.off:]
+		pos := 0
+		for live[pos] != id {
+			pos++
 		}
-		if depth > 0 {
-			p.mPairInc.Add(uint64(depth))
+		emit := pos
+		if p.window > 0 && p.window < emit {
+			emit = p.window
 		}
-		// Unlink id (O(1) via prev/next).
-		if p.prev[id] != -1 {
-			p.next[p.prev[id]] = p.next[id]
-		} else {
-			p.head = p.next[id]
+		if emit > 0 {
+			p.shards.emit(id, live[:emit])
+			p.mPairInc.Add(uint64(emit))
 		}
-		if p.next[id] != -1 {
-			p.prev[p.next[id]] = p.prev[id]
-		}
+		// Move to front: shift the prefix right one slot over id.
+		copy(live[1:pos+1], live[:pos])
+		live[0] = id
+		return
 	}
 
-	// Push id to the front.
-	p.prev[id] = -1
-	p.next[id] = p.head
-	if p.head != -1 {
-		p.prev[p.head] = id
-	}
-	p.head = id
+	// First touch: prepend into the spare room below off.
 	p.in[id] = true
+	if p.off == 0 {
+		p.growFront()
+	}
+	p.off--
+	p.list[p.off] = id
+}
+
+// intern resolves pc to a dense id, discovering the branch on first
+// touch. Cold: each static branch passes through here once (plus rare
+// dense-table growth), so the appends and map fallback are off the
+// steady-state path; Reserve pre-sizes the buffers.
+func (p *Profiler) intern(pc uint64) int32 {
+	if w := pc >> 2; pc&3 == 0 && w < maxDenseWords {
+		if w >= uint64(len(p.idOf)) {
+			p.growDense(int(w + 1))
+		}
+		if id := p.idOf[w]; id >= 0 {
+			return id
+		}
+		id := p.newID(pc)
+		p.idOf[w] = id
+		return id
+	}
+	if id, ok := p.highIDs[pc]; ok { //reprolint:allow hotpath unaligned-pc fallback, off the VM's word-aligned address space
+		return id
+	}
+	if p.highIDs == nil {
+		p.highIDs = make(map[uint64]int32) //reprolint:allow hotpath unaligned-pc fallback, allocated at most once
+	}
+	id := p.newID(pc)
+	p.highIDs[pc] = id //reprolint:allow hotpath unaligned-pc fallback, once per out-of-range static branch
+	return id
+}
+
+// growDense extends the direct-indexed pc table to cover n words,
+// growing geometrically so a run performs O(log program-size) growths.
+func (p *Profiler) growDense(n int) {
+	size := cap(p.idOf)
+	if size < 1<<10 {
+		size = 1 << 10
+	}
+	for size < n {
+		size *= 2
+	}
+	if size > maxDenseWords {
+		size = maxDenseWords
+	}
+	grown := make([]int32, size) //reprolint:allow hotpath amortized geometric growth, O(log program) times per run
+	copy(grown, p.idOf)
+	for i := len(p.idOf); i < size; i++ {
+		grown[i] = -1
+	}
+	p.idOf = grown
+}
+
+// newID allocates the next dense id and its per-branch state. Runs once
+// per static branch; Reserve pre-sizes every buffer it appends to.
+func (p *Profiler) newID(pc uint64) int32 {
+	id := int32(len(p.pcs))
+	p.pcs = append(p.pcs, pc)    //reprolint:allow hotpath first touch, once per static branch; Reserve pre-sizes
+	p.exec = append(p.exec, 0)   //reprolint:allow hotpath first touch, once per static branch; Reserve pre-sizes
+	p.taken = append(p.taken, 0) //reprolint:allow hotpath first touch, once per static branch; Reserve pre-sizes
+	p.in = append(p.in, false)   //reprolint:allow hotpath first touch, once per static branch; Reserve pre-sizes
+	return id
+}
+
+// growFront makes room below off for first-touch prepends, keeping the
+// live list at the top of the (geometrically grown) backing array.
+func (p *Profiler) growFront() {
+	live := p.list[p.off:]
+	size := len(p.list) * 2
+	if size < 64 {
+		size = 64
+	}
+	grown := make([]int32, size) //reprolint:allow hotpath amortized geometric growth, O(log static-branches) times per run
+	p.off = size - len(live)
+	copy(grown[p.off:], live)
+	p.list = grown
 }
 
 // Branches returns the number of dynamic branches consumed so far.
 func (p *Profiler) Branches() uint64 { return p.branches }
 
-// ShardTableBytes reports the memory held by the shard-local pair
-// tables (0 in serial mode) — the space sharding trades for pipeline
-// parallelism, recorded by cmd/bench. It quiesces the shard workers;
-// accumulation may resume afterwards.
+// TableBytes reports the memory held by the interleave accumulation
+// tables (the per-branch counters, in either mode) — the profiler's
+// dominant footprint, recorded by cmd/bench.
+func (p *Profiler) TableBytes() uint64 {
+	return p.shards.tableBytes()
+}
+
+// ShardTableBytes reports the extra memory sharded accumulation holds
+// beyond the serial path: the in-flight event batches and partition
+// bookkeeping (0 in serial mode). The counters themselves are the same
+// tables serial mode keeps, merely partitioned across workers, so they
+// are reported by TableBytes, not here. BENCH_3's 128 MB figure was
+// this quantity under the old design, which duplicated every pair into
+// shard-local tables.
 func (p *Profiler) ShardTableBytes() uint64 {
-	if p.shards == nil {
+	if p.numShards <= 1 {
 		return 0
 	}
-	p.shards.drain()
-	return p.shards.tableBytes()
+	return p.shards.overheadBytes()
 }
 
 // SetInstructions records the run's total instruction count (otherwise
 // estimated from the last branch time stamp).
 func (p *Profiler) SetInstructions(n uint64) { p.instructions = n }
+
+// nbrOf returns branch id's neighbor counter in either mode. In sharded
+// mode the counter lives in the owning worker's partition; callers must
+// quiesce the workers first (drain). The returned counter may be empty.
+func (p *Profiler) nbrOf(id int32) *nbrCounter {
+	w := int(uint32(id)) % p.shards.p
+	row := int(uint32(id)) / p.shards.p
+	if row >= len(p.shards.tabs[w]) {
+		return &emptyNbr
+	}
+	return &p.shards.tabs[w][row]
+}
+
+// emptyNbr backs nbrOf for branches that never emitted a pair; it must
+// never be written.
+var emptyNbr nbrCounter
 
 // distinctPairs counts the exact number of distinct unordered pairs
 // across the per-branch neighbor counters. One pair (a,b) may be stored
@@ -313,11 +442,12 @@ func (p *Profiler) SetInstructions(n uint64) { p.instructions = n }
 // table ~2x. A pair is counted from the smaller id's counter when
 // present there, and from the larger id's counter only otherwise.
 func (p *Profiler) distinctPairs() int {
+	p.shards.drain()
 	distinct := 0
-	for id := range p.nbrs {
+	for id := range p.pcs {
 		a := int32(id)
-		p.nbrs[id].each(func(b int32, _ uint32) {
-			if b > a || !p.nbrs[b].has(a) {
+		p.nbrOf(a).each(func(b int32, _ uint32) {
+			if b > a || !p.nbrOf(b).has(a) {
 				distinct++
 			}
 		})
@@ -331,25 +461,24 @@ func (p *Profiler) distinctPairs() int {
 // The returned profile's pair table comes from the package pool
 // (exactly sized, so extraction never rehashes); callers done with a
 // transient profile can hand the table back via Profile.Release.
+//
+// Extraction walks branch ids in ascending order and each counter in
+// its (deterministic) slot order, in both modes: a branch's counter
+// receives the same increment sequence serially and sharded, so the
+// walk — and therefore the extracted profile — is byte-identical for
+// every shard count.
 func (p *Profiler) Profile() *Profile {
 	done := p.metrics.StartMerge()
-	var pairs *PairCounts
-	if p.shards != nil {
-		// Quiesce the shard workers, then merge the disjoint shard
-		// tables into one exactly-sized pooled table. Shards partition
-		// the key space, so the merge never collides and the totals are
-		// the per-pair increment counts — identical to the serial path.
-		p.shards.drain()
-		pairs = GetPairCounts(p.shards.distinct())
-		p.shards.mergeInto(pairs)
-	} else {
-		pairs = GetPairCounts(p.distinctPairs())
-		for id := range p.nbrs {
-			a := int32(id)
-			p.nbrs[id].each(func(b int32, count uint32) {
-				pairs.Add(PairKey(a, b), uint64(count))
-			})
-		}
+	// Quiesce the engine: staged batches are applied (and, sharded, the
+	// workers stopped), after which the counters are complete and safe
+	// to read from this goroutine.
+	p.shards.drain()
+	pairs := GetPairCounts(p.distinctPairs())
+	for id := range p.pcs {
+		a := int32(id)
+		p.nbrOf(a).each(func(b int32, count uint32) {
+			pairs.Add(PairKey(a, b), uint64(count))
+		})
 	}
 	out := &Profile{
 		Benchmark:    p.benchmark,
@@ -373,10 +502,11 @@ type NaiveProfiler struct {
 	benchmark string
 	inputSet  string
 
-	ids   map[uint64]int32
-	pcs   []uint64
-	exec  []uint64
-	taken []uint64
+	idOf    []int32
+	highIDs map[uint64]int32
+	pcs     []uint64
+	exec    []uint64
+	taken   []uint64
 
 	stamp []uint64 // last time stamp per id
 	seen  []bool   // id has executed at least once
@@ -390,22 +520,17 @@ func NewNaiveProfiler(benchmark, inputSet string) *NaiveProfiler {
 	return &NaiveProfiler{
 		benchmark: benchmark,
 		inputSet:  inputSet,
-		ids:       make(map[uint64]int32),
 		pairs:     NewPairCounts(0),
 	}
 }
 
 // Branch consumes one dynamic branch event.
 func (p *NaiveProfiler) Branch(pc uint64, taken bool, icount uint64) {
-	id, ok := p.ids[pc]
-	if !ok {
-		id = int32(len(p.pcs))
-		p.ids[pc] = id
-		p.pcs = append(p.pcs, pc)
-		p.exec = append(p.exec, 0)
-		p.taken = append(p.taken, 0)
-		p.stamp = append(p.stamp, 0)
-		p.seen = append(p.seen, false)
+	var id int32
+	if w := pc >> 2; pc&3 == 0 && w < uint64(len(p.idOf)) && p.idOf[w] >= 0 {
+		id = p.idOf[w]
+	} else {
+		id = p.intern(pc)
 	}
 	p.exec[id]++
 	if taken {
@@ -429,6 +554,56 @@ func (p *NaiveProfiler) Branch(pc uint64, taken bool, icount uint64) {
 	}
 	p.stamp[id] = icount
 	p.seen[id] = true
+}
+
+// intern mirrors Profiler.intern for the reference profiler: dense
+// direct-indexed translation with a map fallback, cold per static
+// branch.
+func (p *NaiveProfiler) intern(pc uint64) int32 {
+	newID := func() int32 {
+		id := int32(len(p.pcs))
+		p.pcs = append(p.pcs, pc)      //reprolint:allow hotpath first touch, once per static branch
+		p.exec = append(p.exec, 0)     //reprolint:allow hotpath first touch, once per static branch
+		p.taken = append(p.taken, 0)   //reprolint:allow hotpath first touch, once per static branch
+		p.stamp = append(p.stamp, 0)   //reprolint:allow hotpath first touch, once per static branch
+		p.seen = append(p.seen, false) //reprolint:allow hotpath first touch, once per static branch
+		return id
+	}
+	if w := pc >> 2; pc&3 == 0 && w < maxDenseWords {
+		if w >= uint64(len(p.idOf)) {
+			size := cap(p.idOf)
+			if size < 1<<10 {
+				size = 1 << 10
+			}
+			for size < int(w+1) {
+				size *= 2
+			}
+			if size > maxDenseWords {
+				size = maxDenseWords
+			}
+			grown := make([]int32, size) //reprolint:allow hotpath amortized geometric growth, O(log program) times per run
+			copy(grown, p.idOf)
+			for i := len(p.idOf); i < size; i++ {
+				grown[i] = -1
+			}
+			p.idOf = grown
+		}
+		if id := p.idOf[w]; id >= 0 {
+			return id
+		}
+		id := newID()
+		p.idOf[w] = id
+		return id
+	}
+	if id, ok := p.highIDs[pc]; ok { //reprolint:allow hotpath unaligned-pc fallback, off the VM's word-aligned address space
+		return id
+	}
+	if p.highIDs == nil {
+		p.highIDs = make(map[uint64]int32) //reprolint:allow hotpath unaligned-pc fallback, allocated at most once
+	}
+	id := newID()
+	p.highIDs[pc] = id //reprolint:allow hotpath unaligned-pc fallback, once per out-of-range static branch
+	return id
 }
 
 // Profile extracts the accumulated profile.

@@ -40,9 +40,10 @@ type Xoshiro256 struct {
 }
 
 // New returns a Xoshiro256 generator whose state is expanded from seed
-// with SplitMix64, as recommended by the xoshiro authors.
+// with SplitMix64, as recommended by the xoshiro authors. The expander
+// is a stack value so seeding costs one allocation, not two.
 func New(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
+	sm := SplitMix64{state: seed}
 	var x Xoshiro256
 	for i := range x.s {
 		x.s[i] = sm.Next()
