@@ -31,11 +31,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -122,14 +124,21 @@ func main() {
 		update     = flag.Bool("update", false, "overwrite the baseline with this run's report")
 		metrics    = flag.Bool("metrics", false, "instrument the comparison runs and dump the metrics registry (text encoding) to stderr")
 		minSpeedup = flag.Float64("min-suite-speedup", 0, "fail if any sweep point's suite-level sharding speedup is below this (0 disables)")
+		predictor  = flag.String("predictor", "", "also benchmark the predictor zoo for these comma-separated kinds (pag, gshare, tage, perceptron; 'all' runs the whole zoo)")
 	)
 	flag.Parse()
+
+	zooKinds, err := parseZooKinds(*predictor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	rep, err := measure(obs.SystemClock(), *scale, *workers, obs.New(reg))
+	rep, err := measure(obs.SystemClock(), *scale, *workers, zooKinds, obs.New(reg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -184,14 +193,14 @@ type experiment struct {
 	run  func(*harness.Suite) error
 }
 
-func experiments() []experiment {
+func experiments(zooKinds []string) []experiment {
 	table := func(n int) func(*harness.Suite) error {
 		return func(s *harness.Suite) error { return discardTable(s, n) }
 	}
 	figure := func(n int) func(*harness.Suite) error {
 		return func(s *harness.Suite) error { return discardFigure(s, n) }
 	}
-	return []experiment{
+	exps := []experiment{
 		{"table1", table(1)},
 		{"table2", table(2)},
 		{"table3", table(3)},
@@ -199,6 +208,41 @@ func experiments() []experiment {
 		{"figure3", figure(3)},
 		{"figure4", figure(4)},
 	}
+	// The zoo entries are opt-in (-predictor): each measures one zoo
+	// member's full allocated-vs-conventional run over the benchmark set,
+	// so predictor update-loop throughput is tracked per scheme. compare()
+	// skips experiments absent from the baseline, so opt-in entries don't
+	// invalidate committed baselines.
+	for _, kind := range zooKinds {
+		kind := kind
+		exps = append(exps, experiment{"zoo-" + kind, func(s *harness.Suite) error {
+			return harness.RunZoo(s, io.Discard, false, kind)
+		}})
+	}
+	return exps
+}
+
+// parseZooKinds parses -predictor: comma-separated zoo kinds, "all" for
+// the whole zoo, empty for none. Unknown kinds fail before any run.
+func parseZooKinds(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return predict.ZooKinds(), nil
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !predict.ValidZooKind(k) {
+			return nil, fmt.Errorf("unknown predictor %q (have %v)", k, predict.ZooKinds())
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // Rendering goes to io.Discard: formatting is part of the experiment,
@@ -222,10 +266,10 @@ func timeRun(clock obs.Clock, f func() error) (time.Duration, error) {
 	return clock.Now().Sub(start), nil
 }
 
-func measure(clock obs.Clock, scale float64, workers int, m *obs.Metrics) (*Report, error) {
+func measure(clock obs.Clock, scale float64, workers int, zooKinds []string, m *obs.Metrics) (*Report, error) {
 	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
-	for _, e := range experiments() {
+	for _, e := range experiments(zooKinds) {
 		e := e
 		var benchErr error
 		var branchesPerOp uint64

@@ -6,11 +6,14 @@
 //
 //	tables [-scale f] [-table n] [-figure n] [-markdown] [-quiet]
 //	       [-workers n] [-shards n] [-fused] [-static]
+//	       [-zoo] [-predictor list]
 //	       [-cpuprofile f] [-memprofile f]
 //
 // Without -table/-figure it runs everything. -static runs the
 // static-vs-profiled comparison (compile-time working-set estimation,
-// no profile run feeding the allocator). -markdown emits
+// no profile run feeding the allocator). -zoo runs the predictor zoo
+// (allocated vs conventional indexing for PAg, gshare, TAGE, and the
+// hashed perceptron; -predictor restricts the kinds). -markdown emits
 // GitHub-style tables suitable for EXPERIMENTS.md. Benchmarks run
 // concurrently (-workers, default GOMAXPROCS) and, by default, in fused
 // streaming mode (-fused=false restores record-then-replay); the
@@ -24,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -41,6 +45,8 @@ func main() {
 		ablation   = flag.Bool("ablations", false, "also run the ablation studies (threshold, definition, grouped, window)")
 		static     = flag.Bool("static", false, "run the static-vs-profiled comparison (profile-free allocation from the compile-time estimate)")
 		extras     = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
+		zoo        = flag.Bool("zoo", false, "run the predictor zoo (gshare, TAGE, perceptron, PAg): allocated vs conventional indexing per table size")
+		predictor  = flag.String("predictor", "", "restrict -zoo to these comma-separated predictors (pag, gshare, tage, perceptron)")
 		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
 		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
 		shards     = flag.Int("shards", 0, "intra-benchmark pair-count shards and clique-mining workers (0 = GOMAXPROCS, 1 = serial)")
@@ -89,7 +95,12 @@ func main() {
 		Static:        *static,
 	})
 
-	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras && !*static
+	if *predictor != "" && !*zoo {
+		fmt.Fprintln(os.Stderr, "tables: -predictor only applies to -zoo runs")
+		os.Exit(1)
+	}
+
+	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras && !*static && !*zoo
 	// Progress timing goes to stderr and never into a table; the clock
 	// comes from obs so the wall-clock read stays in one sanctioned place.
 	clock := obs.SystemClock()
@@ -106,6 +117,12 @@ func main() {
 	}
 	if *extras {
 		if err := harness.RunExtras(suite, os.Stdout, *markdown); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+	if *zoo {
+		if err := harness.RunZoo(suite, os.Stdout, *markdown, splitKinds(*predictor)...); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
@@ -145,6 +162,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// splitKinds parses the -predictor flag: comma-separated kind names,
+// empty string meaning "all" (the nil slice RunZoo interprets that way).
+func splitKinds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
 }
 
 func run(suite *harness.Suite, all bool, table, figure int, markdown bool) error {

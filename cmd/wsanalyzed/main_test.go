@@ -200,6 +200,56 @@ func TestStaticMode(t *testing.T) {
 	}
 }
 
+// TestZooMode covers the predictor-zoo experiment end to end through
+// the service, submitted via the ?mode=zoo and ?predictor= query
+// aliases, and checks the result against a direct harness run.
+func TestZooMode(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 2))
+
+	resp, body := postJSON(t, ts.URL+"/analyze?mode=zoo&predictor=gshare,perceptron", analyzeRequest{Scale: 0.05})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	j := poll(t, ts, acc.ID)
+	if j.Status != "done" {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+	if j.Req.Kind != "zoo" || j.Req.Predictor != "gshare,perceptron" {
+		t.Errorf("recorded request = kind %q predictor %q (the query aliases must stick)", j.Req.Kind, j.Req.Predictor)
+	}
+
+	direct := harness.NewSuite(harness.Config{Scale: 0.05, Fused: true})
+	var want bytes.Buffer
+	if err := harness.RunZoo(direct, &want, false, "gshare", "perceptron"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != want.String() {
+		t.Errorf("service result differs from direct harness run (%d vs %d bytes)",
+			len(j.Result), want.Len())
+	}
+	if !strings.Contains(j.Result, "[perceptron]") {
+		t.Errorf("zoo result missing requested predictor section:\n%.500s", j.Result)
+	}
+
+	// Unknown predictors are rejected at validation, before any work, as
+	// is a predictor selection on a non-zoo kind.
+	if resp, _ := postJSON(t, ts.URL+"/analyze?mode=zoo&predictor=bogus", analyzeRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown predictor: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/analyze", analyzeRequest{Kind: "all", Predictor: "tage"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("predictor on non-zoo kind: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/analyze?predictor=tage", analyzeRequest{Kind: "zoo", Predictor: "pag"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting predictor/query: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestConcurrentSubmissions floods the service with more jobs than its
 // concurrency bound and checks every one completes correctly — CI runs
 // this under -race, so the job table and counter synchronization are

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/predict"
 )
 
 // analyzeRequest is the POST /analyze body: which experiment to run and
@@ -19,15 +21,20 @@ import (
 // `tables` exactly.
 type analyzeRequest struct {
 	// Kind selects the experiment: "all" (default), "table", "figure",
-	// "ablations", "extras", or "static" (the profile-free
-	// static-vs-profiled comparison). The query parameter ?mode= is an
-	// alias for Kind, so `POST /analyze?mode=static` with an empty body
-	// works too.
+	// "ablations", "extras", "static" (the profile-free
+	// static-vs-profiled comparison), or "zoo" (the predictor zoo:
+	// allocated vs conventional indexing for PAg, gshare, TAGE, and the
+	// hashed perceptron). The query parameter ?mode= is an alias for
+	// Kind, so `POST /analyze?mode=static` with an empty body works too.
 	Kind string `json:"kind"`
 	// Table (1-4) and Figure (3-4) select the numbered experiment for
 	// kind "table" / "figure".
 	Table  int `json:"table,omitempty"`
 	Figure int `json:"figure,omitempty"`
+	// Predictor restricts kind "zoo" to a comma-separated subset of the
+	// zoo members (pag, gshare, tage, perceptron); empty runs them all.
+	// The query parameter ?predictor= is an alias, mirroring ?mode=.
+	Predictor string `json:"predictor,omitempty"`
 
 	Scale        float64 `json:"scale,omitempty"`
 	Threshold    uint64  `json:"threshold,omitempty"`
@@ -51,10 +58,34 @@ func (r *analyzeRequest) validate() error {
 		if r.Figure != 3 && r.Figure != 4 {
 			return fmt.Errorf("kind %q needs figure 3 or 4, got %d", r.Kind, r.Figure)
 		}
+	case "zoo":
+		for _, k := range splitPredictorKinds(r.Predictor) {
+			if !predict.ValidZooKind(k) {
+				return fmt.Errorf("kind %q: unknown predictor %q (have %v)", r.Kind, k, predict.ZooKinds())
+			}
+		}
 	default:
-		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static)", r.Kind)
+		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static, zoo)", r.Kind)
+	}
+	if r.Predictor != "" && r.Kind != "zoo" {
+		return fmt.Errorf("predictor %q only applies to kind \"zoo\", not %q", r.Predictor, r.Kind)
 	}
 	return nil
+}
+
+// splitPredictorKinds parses the comma-separated predictor selection;
+// empty input yields nil, which RunZoo reads as "the whole zoo".
+func splitPredictorKinds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
 }
 
 // executeJob runs one analysis request on a fresh Suite and returns the
@@ -90,6 +121,8 @@ func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
 		err = harness.RunExtras(suite, &buf, req.Markdown)
 	case "static":
 		err = harness.RunStatic(suite, &buf, req.Markdown)
+	case "zoo":
+		err = harness.RunZoo(suite, &buf, req.Markdown, splitPredictorKinds(req.Predictor)...)
 	default:
 		err = fmt.Errorf("unknown kind %q", req.Kind)
 	}
@@ -210,6 +243,16 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Kind = mode
+	}
+	// ?predictor= is the matching alias for the zoo's kind selection
+	// (e.g. POST /analyze?mode=zoo&predictor=tage,perceptron).
+	if sel := r.URL.Query().Get("predictor"); sel != "" {
+		if req.Predictor != "" && req.Predictor != sel {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("predictor %q in body conflicts with ?predictor=%s", req.Predictor, sel)})
+			return
+		}
+		req.Predictor = sel
 	}
 	if err := req.validate(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})

@@ -1,0 +1,65 @@
+package predict
+
+import "testing"
+
+// TestCounter2UpdateTable walks every (state, outcome) → state edge of
+// the 2-bit counter, including the saturation clamps at both rails.
+func TestCounter2UpdateTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		start Counter2
+		taken bool
+		want  Counter2
+	}{
+		{"SN stays clamped on not-taken", StrongNotTaken, false, StrongNotTaken},
+		{"SN steps up on taken", StrongNotTaken, true, WeakNotTaken},
+		{"WN steps down on not-taken", WeakNotTaken, false, StrongNotTaken},
+		{"WN steps up on taken", WeakNotTaken, true, WeakTaken},
+		{"WT steps down on not-taken", WeakTaken, false, WeakNotTaken},
+		{"WT steps up on taken", WeakTaken, true, StrongTaken},
+		{"ST steps down on not-taken", StrongTaken, false, WeakTaken},
+		{"ST stays clamped on taken", StrongTaken, true, StrongTaken},
+	}
+	for _, tc := range cases {
+		if got := tc.start.Update(tc.taken); got != tc.want {
+			t.Errorf("%s: %s.Update(%v) = %s, want %s", tc.name, tc.start, tc.taken, got, tc.want)
+		}
+	}
+}
+
+// TestCounter2BiasTransitions checks the hysteresis property the scheme
+// exists for: crossing the prediction boundary takes two contrary
+// outcomes from a strong state, one from a weak state.
+func TestCounter2BiasTransitions(t *testing.T) {
+	cases := []struct {
+		name    string
+		start   Counter2
+		outcome bool
+		flips   int // contrary outcomes until the prediction changes
+	}{
+		{"weak not-taken flips in one", WeakNotTaken, true, 1},
+		{"weak taken flips in one", WeakTaken, false, 1},
+		{"strong not-taken flips in two", StrongNotTaken, true, 2},
+		{"strong taken flips in two", StrongTaken, false, 2},
+	}
+	for _, tc := range cases {
+		c, before := tc.start, tc.start.Taken()
+		steps := 0
+		for c.Taken() == before {
+			c = c.Update(tc.outcome)
+			steps++
+			if steps > 4 {
+				t.Fatalf("%s: prediction never flipped", tc.name)
+			}
+		}
+		if steps != tc.flips {
+			t.Errorf("%s: flipped after %d outcomes, want %d", tc.name, steps, tc.flips)
+		}
+	}
+}
+
+func TestB2i(t *testing.T) {
+	if b2i(true) != 1 || b2i(false) != 0 {
+		t.Fatalf("b2i(true)=%d b2i(false)=%d", b2i(true), b2i(false))
+	}
+}

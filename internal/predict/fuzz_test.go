@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTAGEFold fuzzes the TAGE hash arithmetic: foldHistory must always
+// fit the requested width, be linear over XOR (it is a GF(2)
+// projection), ignore history bits beyond histLen, and the component
+// tag built on it must fit the tag field.
+func FuzzTAGEFold(f *testing.F) {
+	f.Add(uint64(0), uint8(4), uint8(4))
+	f.Add(^uint64(0), uint8(32), uint8(9))
+	f.Add(uint64(0xdeadbeefcafe), uint8(63), uint8(1))
+	f.Add(uint64(1)<<63, uint8(64), uint8(16))
+	f.Fuzz(func(t *testing.T, h uint64, histRaw, bitsRaw uint8) {
+		histLen := uint(histRaw) % 65 // 0..64
+		bits := uint(bitsRaw)%16 + 1  // 1..16
+
+		v := foldHistory(h, histLen, bits)
+		if v >= 1<<bits {
+			t.Fatalf("foldHistory(%#x,%d,%d) = %#x exceeds width", h, histLen, bits, v)
+		}
+		// Linearity over XOR.
+		h2 := h ^ 0x5555aaaa5555aaaa
+		if foldHistory(h^h2, histLen, bits) != v^foldHistory(h2, histLen, bits) {
+			t.Fatalf("fold not linear for h=%#x len=%d bits=%d", h, histLen, bits)
+		}
+		// Bits at positions >= histLen never leak into the fold.
+		if histLen < 64 {
+			if foldHistory(h|^uint64(0)<<histLen, histLen, bits) != v {
+				t.Fatalf("fold leaked high bits for h=%#x len=%d bits=%d", h, histLen, bits)
+			}
+		}
+
+		// The tag arithmetic stays inside the tag field for any state.
+		tage, err := NewTAGE(PCModIndexer{Entries: 64}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tage.hist = h
+		for i := 0; i < tageTables; i++ {
+			if tag := tage.componentTag(i, uint32(h)); tag > tageTagMask {
+				t.Fatalf("componentTag(%d) = %#x exceeds %d bits", i, tag, tageTagBits)
+			}
+			if idx := tage.componentIndex(i, uint32(h>>16)); idx > tage.mask {
+				t.Fatalf("componentIndex(%d) = %d out of table", i, idx)
+			}
+		}
+	})
+}
+
+// FuzzPerceptronUpdate differentially fuzzes the branchless perceptron
+// update against a straightforward reference model: for any (pc,
+// outcome) stream the weights, history, and predictions must agree, and
+// every weight must stay inside the saturation rails.
+func FuzzPerceptronUpdate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x40, 0x03, 0x80, 0x00, 0xc0})
+	f.Add([]byte{0xff, 0xff, 0xfe, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const rows, hlen = 8, 12
+		p, err := NewPerceptron(PCModIndexer{Entries: rows}, rows, hlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference model: plain int arithmetic, explicit branches.
+		ref := make([][]int, rows)
+		for i := range ref {
+			ref[i] = make([]int, hlen+1)
+		}
+		var refHist uint64
+		theta := int(perceptronTheta(hlen))
+		refOut := func(row []int) int {
+			out := row[0]
+			for i := 1; i <= hlen; i++ {
+				if refHist>>(i-1)&1 == 1 {
+					out += row[i]
+				} else {
+					out -= row[i]
+				}
+			}
+			return out
+		}
+		clamp := func(w int) int {
+			if w > perceptronWMax {
+				return perceptronWMax
+			}
+			if w < perceptronWMin {
+				return perceptronWMin
+			}
+			return w
+		}
+
+		for step := 0; len(data) >= 3; step++ {
+			pc := uint64(binary.LittleEndian.Uint16(data[:2])) * 4
+			taken := data[2]&1 == 1
+			data = data[3:]
+
+			row := ref[int(uint32(pc/4))%rows]
+			out := refOut(row)
+			if got, want := p.Predict(pc), out >= 0; got != want {
+				t.Fatalf("step %d pc %#x: prediction %v, reference %v", step, pc, got, want)
+			}
+
+			p.Update(pc, taken)
+			// Reference training rule, written the obvious way.
+			pred := out >= 0
+			mag := out
+			if mag < 0 {
+				mag = -mag
+			}
+			if pred != taken || mag <= theta {
+				tsign := -1
+				if taken {
+					tsign = 1
+				}
+				row[0] = clamp(row[0] + tsign)
+				for i := 1; i <= hlen; i++ {
+					xsign := -1
+					if refHist>>(i-1)&1 == 1 {
+						xsign = 1
+					}
+					row[i] = clamp(row[i] + tsign*xsign)
+				}
+			}
+			refHist = refHist<<1 | uint64(b2i(taken))
+
+			// Weights agree and stay railed.
+			prow := p.row(pc)
+			for i, w := range prow {
+				if int(w) != row[i] {
+					t.Fatalf("step %d weight[%d] = %d, reference %d", step, i, w, row[i])
+				}
+				if w < perceptronWMin || w > perceptronWMax {
+					t.Fatalf("step %d weight[%d] = %d outside rails", step, i, w)
+				}
+			}
+		}
+	})
+}

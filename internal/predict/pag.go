@@ -3,6 +3,7 @@ package predict
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 )
 
 // PAg is the local-history two-level adaptive predictor of Yeh & Patt:
@@ -73,6 +74,34 @@ func (p *PAg) Update(pc uint64, taken bool) {
 	idx, h := p.historyAt(pc)
 	p.pht[h] = p.pht[h].Update(taken)
 	p.bht[idx] = ((p.bht[idx] << 1) | b2i(taken)) & p.histMask
+}
+
+// Flush implements ZooPredictor: clear every local history and re-bias
+// the pattern counters to power-on WeakTaken. The BHT keeps any growth
+// the ideal indexer forced — capacity is structure, not dynamic state.
+func (p *PAg) Flush() {
+	clear(p.bht)
+	for i := range p.pht {
+		p.pht[i] = WeakTaken
+	}
+}
+
+// Snapshot implements ZooPredictor: every nonzero local history and
+// every pattern counter off its power-on state, in index order.
+func (p *PAg) Snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pag histbits=%d\n", p.histBits)
+	for i, h := range p.bht {
+		if h != 0 {
+			fmt.Fprintf(&b, "bht[%d]=%#x\n", i, h)
+		}
+	}
+	for i, c := range p.pht {
+		if c != WeakTaken {
+			fmt.Fprintf(&b, "pht[%d]=%s\n", i, c)
+		}
+	}
+	return b.String()
 }
 
 // HistoryBits returns the local history length.

@@ -81,41 +81,6 @@ func (g *GAg) Update(pc uint64, taken bool) {
 	g.hist = ((g.hist << 1) | b2i(taken)) & g.mask
 }
 
-// Gshare is McFarling's variant: global history XORed with the PC
-// indexes the PHT, spreading branches across patterns.
-type Gshare struct {
-	hist uint32
-	mask uint32
-	pht  []Counter2
-}
-
-// NewGshare builds a gshare with phtEntries counters (power of two).
-func NewGshare(phtEntries int) (*Gshare, error) {
-	if phtEntries <= 1 || phtEntries&(phtEntries-1) != 0 {
-		return nil, fmt.Errorf("predict: gshare PHT entries must be a power of two > 1, got %d", phtEntries)
-	}
-	g := &Gshare{mask: uint32(phtEntries - 1), pht: make([]Counter2, phtEntries)}
-	for i := range g.pht {
-		g.pht[i] = WeakTaken
-	}
-	return g, nil
-}
-
-// Name implements Predictor.
-func (g *Gshare) Name() string { return fmt.Sprintf("gshare(%d)", len(g.pht)) }
-
-func (g *Gshare) index(pc uint64) uint32 { return (g.hist ^ uint32(pc/4)) & g.mask }
-
-// Predict implements Predictor.
-func (g *Gshare) Predict(pc uint64) bool { return g.pht[g.index(pc)].Taken() }
-
-// Update implements Predictor.
-func (g *Gshare) Update(pc uint64, taken bool) {
-	i := g.index(pc)
-	g.pht[i] = g.pht[i].Update(taken)
-	g.hist = ((g.hist << 1) | b2i(taken)) & g.mask
-}
-
 // AlwaysTaken is the trivial static baseline.
 type AlwaysTaken struct{}
 

@@ -1,0 +1,103 @@
+package predict
+
+import "fmt"
+
+// This file defines the predictor zoo: the common contract every modern
+// predictor in the cross-predictor study satisfies, and the registry the
+// harness, CLIs, and wsanalyzed service construct members through. The
+// zoo exists to answer the ROADMAP research question the paper leaves
+// open: does working-set-driven branch allocation still beat PC-bit
+// indexing when the predictor is history-hashed (gshare), history-tagged
+// (TAGE), or weight-based (perceptron)? Every member therefore routes
+// its per-branch table indexing through an Indexer, so the conventional
+// and allocated variants differ only in how a PC becomes a table entry —
+// exactly the substitution the paper makes for PAg's BHT.
+type ZooPredictor interface {
+	Predictor
+	// Flush resets all dynamic state — tables, histories, internal
+	// deterministic RNGs, aging clocks — to power-on values, as a
+	// context switch or pipeline flush would. A flushed predictor is
+	// indistinguishable from a newly constructed one.
+	Flush()
+	// Snapshot returns a canonical, deterministic dump of the dynamic
+	// state: two predictors that consumed identical streams must return
+	// byte-identical snapshots, and the golden state-trace tests commit
+	// these dumps as the predictor's behavioral specification.
+	Snapshot() string
+}
+
+// Compile-time checks: every zoo member satisfies the full contract.
+var (
+	_ ZooPredictor = (*PAg)(nil)
+	_ ZooPredictor = (*Gshare)(nil)
+	_ ZooPredictor = (*TAGE)(nil)
+	_ ZooPredictor = (*Perceptron)(nil)
+)
+
+// Zoo kind names, in report order. PAg is the paper's baseline; the
+// other three are the modern schemes the ROADMAP item asks about.
+const (
+	KindPAg        = "pag"
+	KindGshare     = "gshare"
+	KindTAGE       = "tage"
+	KindPerceptron = "perceptron"
+)
+
+// ZooKinds returns the zoo member names in canonical report order.
+func ZooKinds() []string {
+	return []string{KindPAg, KindGshare, KindTAGE, KindPerceptron}
+}
+
+// ValidZooKind reports whether kind names a zoo member.
+func ValidZooKind(kind string) bool {
+	switch kind {
+	case KindPAg, KindGshare, KindTAGE, KindPerceptron:
+		return true
+	}
+	return false
+}
+
+// ZooConfig sizes a zoo member. The zero value of each field selects the
+// study default, so tests and callers only set what they vary.
+type ZooConfig struct {
+	// TableSize is the indexed first-level structure: PAg's BHT, the
+	// gshare PHT, each TAGE component table, and the perceptron weight
+	// table. Must be a power of two >= 2 (gshare, TAGE and perceptron
+	// fold history with bit masks).
+	TableSize int
+	// PHTEntries is PAg's second-level pattern table size; 0 selects
+	// the paper's 4096.
+	PHTEntries int
+	// HistoryLength is the perceptron's global history length; 0
+	// selects 16.
+	HistoryLength int
+}
+
+func (c ZooConfig) defaults() ZooConfig {
+	if c.PHTEntries == 0 {
+		c.PHTEntries = 4096
+	}
+	if c.HistoryLength == 0 {
+		c.HistoryLength = 16
+	}
+	return c
+}
+
+// NewZooPredictor constructs the named zoo member with its table
+// indexing routed through ix. Conventional hardware is
+// PCModIndexer{Entries: cfg.TableSize}; the paper's proposal is
+// AllocIndexer over a core.AllocationMap built for the same size.
+func NewZooPredictor(kind string, ix Indexer, cfg ZooConfig) (ZooPredictor, error) {
+	cfg = cfg.defaults()
+	switch kind {
+	case KindPAg:
+		return NewPAg(ix, cfg.PHTEntries)
+	case KindGshare:
+		return NewGshareIndexed(ix, cfg.TableSize)
+	case KindTAGE:
+		return NewTAGE(ix, cfg.TableSize)
+	case KindPerceptron:
+		return NewPerceptron(ix, cfg.TableSize, cfg.HistoryLength)
+	}
+	return nil, fmt.Errorf("predict: unknown zoo predictor %q (have %v)", kind, ZooKinds())
+}
