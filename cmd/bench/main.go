@@ -125,6 +125,7 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "instrument the comparison runs and dump the metrics registry (text encoding) to stderr")
 		minSpeedup = flag.Float64("min-suite-speedup", 0, "fail if any sweep point's suite-level sharding speedup is below this (0 disables)")
 		predictor  = flag.String("predictor", "", "also benchmark the predictor zoo for these comma-separated kinds (pag, gshare, tage, perceptron; 'all' runs the whole zoo)")
+		graphsFlag = flag.Bool("graphs", false, "also benchmark the graph-workload experiment (full zoo over the BFS/CC/triangle family) and the predictability characterization")
 	)
 	flag.Parse()
 
@@ -138,7 +139,7 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	rep, err := measure(obs.SystemClock(), *scale, *workers, zooKinds, obs.New(reg))
+	rep, err := measure(obs.SystemClock(), *scale, *workers, zooKinds, *graphsFlag, obs.New(reg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -193,7 +194,7 @@ type experiment struct {
 	run  func(*harness.Suite) error
 }
 
-func experiments(zooKinds []string) []experiment {
+func experiments(zooKinds []string, withGraphs bool) []experiment {
 	table := func(n int) func(*harness.Suite) error {
 		return func(s *harness.Suite) error { return discardTable(s, n) }
 	}
@@ -218,6 +219,20 @@ func experiments(zooKinds []string) []experiment {
 		exps = append(exps, experiment{"zoo-" + kind, func(s *harness.Suite) error {
 			return harness.RunZoo(s, io.Discard, false, kind)
 		}})
+	}
+	// The graph entries are opt-in (-graphs) the same way: "graphs"
+	// measures the full zoo over the graph family end to end (generate,
+	// compile, execute, profile, allocate, simulate), "charact" the
+	// characterization pass over the classic and graph benchmarks.
+	if withGraphs {
+		exps = append(exps,
+			experiment{"graphs", func(s *harness.Suite) error {
+				return harness.RunGraphs(s, io.Discard, false)
+			}},
+			experiment{"charact", func(s *harness.Suite) error {
+				return harness.RunCharact(s, io.Discard, false)
+			}},
+		)
 	}
 	return exps
 }
@@ -266,10 +281,10 @@ func timeRun(clock obs.Clock, f func() error) (time.Duration, error) {
 	return clock.Now().Sub(start), nil
 }
 
-func measure(clock obs.Clock, scale float64, workers int, zooKinds []string, m *obs.Metrics) (*Report, error) {
+func measure(clock obs.Clock, scale float64, workers int, zooKinds []string, withGraphs bool, m *obs.Metrics) (*Report, error) {
 	rep := &Report{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
-	for _, e := range experiments(zooKinds) {
+	for _, e := range experiments(zooKinds, withGraphs) {
 		e := e
 		var benchErr error
 		var branchesPerOp uint64
@@ -450,6 +465,11 @@ func streamBranches(s *harness.Suite) uint64 {
 				continue
 			}
 			total += a.Filter.DynamicTotal + a.Filter.DynamicKept
+		}
+	}
+	for _, name := range workload.GraphNames() {
+		if a, ok := s.GraphCached(name); ok {
+			total += a.Stats.CondBranches
 		}
 	}
 	return total

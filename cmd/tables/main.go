@@ -6,14 +6,19 @@
 //
 //	tables [-scale f] [-table n] [-figure n] [-markdown] [-quiet]
 //	       [-workers n] [-shards n] [-fused] [-static]
-//	       [-zoo] [-predictor list]
+//	       [-zoo] [-graphs] [-charact] [-predictor list]
 //	       [-cpuprofile f] [-memprofile f]
 //
 // Without -table/-figure it runs everything. -static runs the
 // static-vs-profiled comparison (compile-time working-set estimation,
 // no profile run feeding the allocator). -zoo runs the predictor zoo
 // (allocated vs conventional indexing for PAg, gshare, TAGE, and the
-// hashed perceptron; -predictor restricts the kinds). -markdown emits
+// hashed perceptron; -predictor restricts the kinds). -graphs runs the
+// graph workloads (BFS, connected components, and triangle counting
+// over seeded generated graphs, branchy vs branch-avoiding variants)
+// under the same zoo. -charact runs the branch predictability
+// characterization (per-branch bias, direction entropy, and
+// history-conditioned entropy, aggregated per benchmark). -markdown emits
 // GitHub-style tables suitable for EXPERIMENTS.md. Benchmarks run
 // concurrently (-workers, default GOMAXPROCS) and, by default, in fused
 // streaming mode (-fused=false restores record-then-replay); the
@@ -46,6 +51,8 @@ func main() {
 		static     = flag.Bool("static", false, "run the static-vs-profiled comparison (profile-free allocation from the compile-time estimate)")
 		extras     = flag.Bool("extras", false, "also run the extended experiments (related-work predictor comparison, pipeline cost model)")
 		zoo        = flag.Bool("zoo", false, "run the predictor zoo (gshare, TAGE, perceptron, PAg): allocated vs conventional indexing per table size")
+		graphs     = flag.Bool("graphs", false, "run the graph workloads (BFS, CC, triangle over generated graphs): branchy vs branch-avoiding kernels under the zoo")
+		charact    = flag.Bool("charact", false, "run the branch predictability characterization (bias, entropy, history sensitivity) over the classic and graph benchmarks")
 		predictor  = flag.String("predictor", "", "restrict -zoo to these comma-separated predictors (pag, gshare, tage, perceptron)")
 		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
 		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
@@ -95,12 +102,12 @@ func main() {
 		Static:        *static,
 	})
 
-	if *predictor != "" && !*zoo {
-		fmt.Fprintln(os.Stderr, "tables: -predictor only applies to -zoo runs")
+	if *predictor != "" && !*zoo && !*graphs {
+		fmt.Fprintln(os.Stderr, "tables: -predictor only applies to -zoo and -graphs runs")
 		os.Exit(1)
 	}
 
-	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras && !*static && !*zoo
+	runAll := *table == 0 && *figure == 0 && !*ablation && !*extras && !*static && !*zoo && !*graphs && !*charact
 	// Progress timing goes to stderr and never into a table; the clock
 	// comes from obs so the wall-clock read stays in one sanctioned place.
 	clock := obs.SystemClock()
@@ -123,6 +130,18 @@ func main() {
 	}
 	if *zoo {
 		if err := harness.RunZoo(suite, os.Stdout, *markdown, splitKinds(*predictor)...); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+	if *graphs {
+		if err := harness.RunGraphs(suite, os.Stdout, *markdown, splitKinds(*predictor)...); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+	if *charact {
+		if err := harness.RunCharact(suite, os.Stdout, *markdown); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}

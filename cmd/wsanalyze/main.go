@@ -5,13 +5,16 @@
 //
 //	wsanalyze -bench gcc [-input ref] [-scale f] [-threshold n]
 //	          [-window n] [-shards n] [-definition cliques|partition]
-//	          [-top n] [-cpuprofile f] [-memprofile f]
+//	          [-top n] [-charact] [-cpuprofile f] [-memprofile f]
 //	wsanalyze -trace file.bwt [-threshold n] ...
 //	wsanalyze -program file.s [-input ref] ...
 //	wsanalyze -static -bench gcc ...
 //
 // It prints the working-set summary (the benchmark's Table 2 row) and
 // the largest sets, and can dump the recorded trace with -save.
+// -charact appends the predictability characterization: the stream's
+// mean direction entropy before and after history conditioning, and a
+// per-branch bias/entropy line for the -top hottest branches.
 //
 // With -static the program is never executed: working sets come from
 // the compile-time conflict estimate (package staticws) built on the
@@ -25,8 +28,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/charact"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -54,6 +59,7 @@ func main() {
 		list        = flag.Bool("list", false, "list built-in benchmarks and exit")
 		check       = flag.Bool("check", false, "verify artifact invariants (conflict graph, working sets); non-zero exit on violation")
 		corrupt     = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or sets); implies -check")
+		charFlag    = flag.Bool("charact", false, "append the per-branch predictability characterization (bias, entropy, history-conditioned entropy) for the -top branches by execution count")
 		metrics     = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
 		static      = flag.Bool("static", false, "analyze the program at compile time (CFG/loop-nest estimate) instead of executing it")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -93,7 +99,7 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, *static, reg); err != nil {
+	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, *static, *charFlag, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -233,7 +239,7 @@ func staticProgram(bench, input string, scale float64, programFile string) (*pro
 	return spec.Build(in, scale)
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, static bool, reg *obs.Registry) error {
+func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, static bool, charBranches bool, reg *obs.Registry) error {
 	var def core.SetDefinition
 	switch definition {
 	case "cliques":
@@ -252,9 +258,13 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	}
 
 	var prof *profile.Profile
+	var col *charact.Collector
 	if static {
 		if traceFile != "" {
 			return fmt.Errorf("-static analyzes a program, not a recorded trace")
+		}
+		if charBranches {
+			return fmt.Errorf("-charact needs an executed branch stream; drop -static")
 		}
 		prog, err := staticProgram(bench, input, scale, programFile)
 		if err != nil {
@@ -287,7 +297,14 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 			fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
 		}
 		p := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
-		filter.Kept.Replay(p)
+		var sink vm.BranchSink = p
+		if charBranches {
+			// The collector rides the very stream the profiler consumes,
+			// so the characterization describes the analyzed branches.
+			col = charact.NewCollector()
+			sink = vm.MultiSink{p, col}
+		}
+		filter.Kept.Replay(sink)
 		p.SetInstructions(tr.Instructions)
 		prof = p.Profile()
 	}
@@ -349,6 +366,35 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		for i := 0; i < top; i++ {
 			ws := res.Sets[i]
 			fmt.Printf("  #%d: %d branches, %d executions\n", i+1, ws.Size(), ws.ExecWeight)
+		}
+	}
+
+	if col != nil {
+		rep := col.Report()
+		sum := rep.Summary()
+		fmt.Printf("\npredictability: %.3f bits mean entropy, %.3f | local%d, %.3f | global%d, %.1f%% hard\n",
+			sum.Entropy, sum.LocalCond, charact.MaxHistory, sum.GlobalCond, charact.MaxHistory, 100*sum.HardFraction)
+		byCount := make([]charact.BranchChar, len(rep.Branches))
+		copy(byCount, rep.Branches)
+		sort.Slice(byCount, func(i, j int) bool {
+			if byCount[i].Count != byCount[j].Count {
+				return byCount[i].Count > byCount[j].Count
+			}
+			return byCount[i].PC < byCount[j].PC
+		})
+		n := top
+		if n > len(byCount) {
+			n = len(byCount)
+		}
+		if n > 0 {
+			fmt.Printf("top %d branches by execution count:\n", n)
+			for i := 0; i < n; i++ {
+				b := byCount[i]
+				fmt.Printf("  pc=%#06x count=%-8d bias=%.3f entropy=%.3f H|local%d=%.3f H|global%d=%.3f\n",
+					b.PC, b.Count, b.Bias, b.Entropy,
+					charact.MaxHistory, b.LocalCond[charact.MaxHistory-1],
+					charact.MaxHistory, b.GlobalCond[charact.MaxHistory-1])
+			}
 		}
 	}
 

@@ -68,7 +68,7 @@ func checkGolden(t *testing.T, name, got string) {
 // statistics, and top sets.
 func TestGoldenProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, false, nil)
 	})
 	checkGolden(t, "program.golden", out)
 }
@@ -79,7 +79,7 @@ func TestGoldenProgram(t *testing.T) {
 func TestGoldenProgramSharded(t *testing.T) {
 	for _, shards := range []int{2, 3, 7} {
 		out := captureStdout(t, func() error {
-			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", false, nil)
+			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", false, false, nil)
 		})
 		checkGolden(t, "program.golden", out)
 	}
@@ -90,7 +90,7 @@ func TestGoldenProgramSharded(t *testing.T) {
 // artifact.
 func TestGoldenProgramCheck(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", false, nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", false, false, nil)
 	})
 	checkGolden(t, "program_check.golden", out)
 }
@@ -99,7 +99,7 @@ func TestGoldenProgramCheck(t *testing.T) {
 // definition (-definition partition).
 func TestGoldenProgramPartition(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", false, nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", false, false, nil)
 	})
 	checkGolden(t, "program_partition.golden", out)
 }
@@ -109,7 +109,7 @@ func TestGoldenProgramPartition(t *testing.T) {
 func TestGoldenBench(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		out := captureStdout(t, func() error {
-			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", false, nil)
+			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", false, false, nil)
 		})
 		checkGolden(t, "bench_li.golden", out)
 	}
@@ -130,7 +130,7 @@ func TestGoldenProgramMetrics(t *testing.T) {
 		obs.WithMemSource(func() uint64 { return 0 }),
 	)
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, reg)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, false, reg)
 	})
 	checkGolden(t, "program_metrics.golden", out)
 }
@@ -141,7 +141,7 @@ func TestGoldenProgramMetrics(t *testing.T) {
 // 0 selects the default, which the static weight model targets.
 func TestGoldenStaticProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, nil)
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, false, nil)
 	})
 	checkGolden(t, "program_static.golden", out)
 }
@@ -150,7 +150,7 @@ func TestGoldenStaticProgram(t *testing.T) {
 // program analyzed at compile time, with the verifier line in place.
 func TestGoldenStaticBench(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("li", "ref", 0.05, "", "", "", 0, 0, 1, "cliques", 3, 0, true, "", true, nil)
+		return run("li", "ref", 0.05, "", "", "", 0, 0, 1, "cliques", 3, 0, true, "", true, false, nil)
 	})
 	checkGolden(t, "bench_li_static.golden", out)
 }
@@ -158,9 +158,30 @@ func TestGoldenStaticBench(t *testing.T) {
 // TestStaticRejectsTrace: a recorded trace has no program structure to
 // analyze statically.
 func TestStaticRejectsTrace(t *testing.T) {
-	err := run("", "ref", 1.0, "some.bwt", "", "", 0, 0, 1, "cliques", 3, 0, false, "", true, nil)
+	err := run("", "ref", 1.0, "some.bwt", "", "", 0, 0, 1, "cliques", 3, 0, false, "", true, false, nil)
 	if err == nil {
 		t.Fatal("-static -trace unexpectedly succeeded")
+	}
+}
+
+// TestGoldenProgramCharact locks down the -charact extension of the
+// report: the predictability summary line and the per-branch entropy
+// table appended after the working-set sections. The collector rides
+// the same replayed stream as the profiler, so the rest of the report
+// is byte-identical to program.golden.
+func TestGoldenProgramCharact(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, true, nil)
+	})
+	checkGolden(t, "program_charact.golden", out)
+}
+
+// TestStaticRejectsCharact: characterization needs an executed branch
+// stream, which the compile-time path never produces.
+func TestStaticRejectsCharact(t *testing.T) {
+	err := run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, true, nil)
+	if err == nil {
+		t.Fatal("-static -charact unexpectedly succeeded")
 	}
 }
 
@@ -174,7 +195,7 @@ func TestCorruptFailsCheck(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = devnull
-		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, false, nil)
+		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, false, false, nil)
 		os.Stdout = old
 		if cerr := devnull.Close(); cerr != nil {
 			t.Fatal(cerr)

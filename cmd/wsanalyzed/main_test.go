@@ -250,6 +250,60 @@ func TestZooMode(t *testing.T) {
 	}
 }
 
+// TestGraphCharactMode covers the graph-workload and characterization
+// experiments end to end through the service, submitted via the ?mode=
+// alias, and checks each result against a direct harness run.
+func TestGraphCharactMode(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 2))
+
+	resp, body := postJSON(t, ts.URL+"/analyze?mode=graphs&predictor=pag", analyzeRequest{Scale: 0.05})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit graphs: status %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	j := poll(t, ts, acc.ID)
+	if j.Status != "done" {
+		t.Fatalf("graphs job failed: %s", j.Error)
+	}
+
+	direct := harness.NewSuite(harness.Config{Scale: 0.05, Fused: true})
+	var want bytes.Buffer
+	if err := harness.RunGraphs(direct, &want, false, "pag"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != want.String() {
+		t.Errorf("graphs result differs from direct harness run (%d vs %d bytes)",
+			len(j.Result), want.Len())
+	}
+	if !strings.Contains(j.Result, "bfs-uniform") {
+		t.Errorf("graphs result missing benchmark rows:\n%.500s", j.Result)
+	}
+
+	charID := submit(t, ts, analyzeRequest{Kind: "charact", Scale: 0.05})
+	cj := poll(t, ts, charID)
+	if cj.Status != "done" {
+		t.Fatalf("charact job failed: %s", cj.Error)
+	}
+	want.Reset()
+	if err := harness.RunCharact(harness.NewSuite(harness.Config{Scale: 0.05, Fused: true}), &want, false); err != nil {
+		t.Fatal(err)
+	}
+	if cj.Result != want.String() {
+		t.Errorf("charact result differs from direct harness run (%d vs %d bytes)",
+			len(cj.Result), want.Len())
+	}
+
+	// A predictor selection on kind "charact" is rejected at validation.
+	if resp, _ := postJSON(t, ts.URL+"/analyze", analyzeRequest{Kind: "charact", Predictor: "tage"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("predictor on charact kind: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestConcurrentSubmissions floods the service with more jobs than its
 // concurrency bound and checks every one completes correctly — CI runs
 // this under -race, so the job table and counter synchronization are

@@ -22,18 +22,23 @@ import (
 type analyzeRequest struct {
 	// Kind selects the experiment: "all" (default), "table", "figure",
 	// "ablations", "extras", "static" (the profile-free
-	// static-vs-profiled comparison), or "zoo" (the predictor zoo:
+	// static-vs-profiled comparison), "zoo" (the predictor zoo:
 	// allocated vs conventional indexing for PAg, gshare, TAGE, and the
-	// hashed perceptron). The query parameter ?mode= is an alias for
-	// Kind, so `POST /analyze?mode=static` with an empty body works too.
+	// hashed perceptron), "graphs" (the graph workloads: branchy vs
+	// branch-avoiding BFS/CC/triangle kernels under the zoo), or
+	// "charact" (the branch predictability characterization: bias,
+	// entropy, history sensitivity). The query parameter ?mode= is an
+	// alias for Kind, so `POST /analyze?mode=static` with an empty body
+	// works too.
 	Kind string `json:"kind"`
 	// Table (1-4) and Figure (3-4) select the numbered experiment for
 	// kind "table" / "figure".
 	Table  int `json:"table,omitempty"`
 	Figure int `json:"figure,omitempty"`
-	// Predictor restricts kind "zoo" to a comma-separated subset of the
-	// zoo members (pag, gshare, tage, perceptron); empty runs them all.
-	// The query parameter ?predictor= is an alias, mirroring ?mode=.
+	// Predictor restricts kind "zoo" or "graphs" to a comma-separated
+	// subset of the zoo members (pag, gshare, tage, perceptron); empty
+	// runs them all. The query parameter ?predictor= is an alias,
+	// mirroring ?mode=.
 	Predictor string `json:"predictor,omitempty"`
 
 	Scale        float64 `json:"scale,omitempty"`
@@ -58,17 +63,18 @@ func (r *analyzeRequest) validate() error {
 		if r.Figure != 3 && r.Figure != 4 {
 			return fmt.Errorf("kind %q needs figure 3 or 4, got %d", r.Kind, r.Figure)
 		}
-	case "zoo":
+	case "zoo", "graphs":
 		for _, k := range splitPredictorKinds(r.Predictor) {
 			if !predict.ValidZooKind(k) {
 				return fmt.Errorf("kind %q: unknown predictor %q (have %v)", r.Kind, k, predict.ZooKinds())
 			}
 		}
+	case "charact":
 	default:
-		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static, zoo)", r.Kind)
+		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static, zoo, graphs, charact)", r.Kind)
 	}
-	if r.Predictor != "" && r.Kind != "zoo" {
-		return fmt.Errorf("predictor %q only applies to kind \"zoo\", not %q", r.Predictor, r.Kind)
+	if r.Predictor != "" && r.Kind != "zoo" && r.Kind != "graphs" {
+		return fmt.Errorf("predictor %q only applies to kinds \"zoo\" and \"graphs\", not %q", r.Predictor, r.Kind)
 	}
 	return nil
 }
@@ -123,6 +129,10 @@ func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
 		err = harness.RunStatic(suite, &buf, req.Markdown)
 	case "zoo":
 		err = harness.RunZoo(suite, &buf, req.Markdown, splitPredictorKinds(req.Predictor)...)
+	case "graphs":
+		err = harness.RunGraphs(suite, &buf, req.Markdown, splitPredictorKinds(req.Predictor)...)
+	case "charact":
+		err = harness.RunCharact(suite, &buf, req.Markdown)
 	default:
 		err = fmt.Errorf("unknown kind %q", req.Kind)
 	}

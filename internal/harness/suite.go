@@ -170,12 +170,21 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*entry
 
+	// graphMu/graphCache is the graph benchmarks' artifact cache, the
+	// same singleflight discipline as cache over GraphArtifacts.
+	graphMu    sync.Mutex
+	graphCache map[string]*graphEntry
+
 	progMu sync.Mutex
 }
 
 // NewSuite returns a Suite with cfg (unset fields defaulted).
 func NewSuite(cfg Config) *Suite {
-	return &Suite{cfg: cfg.Defaults(), cache: make(map[string]*entry)}
+	return &Suite{
+		cfg:        cfg.Defaults(),
+		cache:      make(map[string]*entry),
+		graphCache: make(map[string]*graphEntry),
+	}
 }
 
 // Config returns the effective configuration.

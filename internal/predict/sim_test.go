@@ -121,6 +121,78 @@ func TestSimWarmupLongerThanStream(t *testing.T) {
 	}
 }
 
+// TestSimWarmupWithZooFlushMidWarmup is the regression test for the
+// interaction the zoo path adds on top of the plain warmup accounting:
+// a predictor-state Flush (ZooPredictor.Flush, the context-switch
+// reset) firing inside the warmup window, with FlushMetrics landing
+// mid-warmup, right after warmup, and at the end of the stream. For
+// every zoo member the invariants are:
+//
+//  1. measured counters equal a twin full-stream sim's counters minus
+//     that twin's own first-warmup counts (the exclusion stays exact —
+//     the state reset must not shift the warmup boundary);
+//  2. the metric counters, summed over all three interleaved flushes,
+//     equal the measured counters exactly once — no warmup event leaks
+//     into metrics and no measured event is dropped or double-counted.
+func TestSimWarmupWithZooFlushMidWarmup(t *testing.T) {
+	const warmup = 100
+	const stateFlushAt = 40 // inside the warmup window
+	stream := zooFixtureStream(400)
+	for _, kind := range ZooKinds() {
+		t.Run(kind, func(t *testing.T) {
+			fullP := newZooMember(t, kind, PCModIndexer{Entries: zooTestConfig.TableSize})
+			warmP := newZooMember(t, kind, PCModIndexer{Entries: zooTestConfig.TableSize})
+			full := NewSim(fullP)
+			warmed := NewSimWarmup(warmP, warmup)
+			m := predictMetrics()
+
+			var prefixMiss uint64
+			for i, e := range stream {
+				// Identical Flush schedule on both predictors keeps their
+				// prediction streams in lockstep; only the accounting differs.
+				if i == stateFlushAt {
+					fullP.Flush()
+					warmP.Flush()
+					warmed.FlushMetrics(m) // mid-warmup metrics flush
+					if m.Branches.Value() != 0 || m.Mispredicts.Value() != 0 {
+						t.Fatalf("mid-warmup metrics flush recorded %d/%d, want 0/0",
+							m.Mispredicts.Value(), m.Branches.Value())
+					}
+				}
+				full.Branch(e.pc, e.taken, uint64(i))
+				warmed.Branch(e.pc, e.taken, uint64(i))
+				if i == warmup-1 {
+					prefixMiss = full.Mispredicts()
+				}
+				if i == warmup+10 {
+					warmed.FlushMetrics(m) // shortly after warmup completes
+				}
+			}
+			warmed.FlushMetrics(m) // end of stream
+
+			if warmed.Branches() != full.Branches()-warmup {
+				t.Fatalf("measured branches %d, want %d", warmed.Branches(), full.Branches()-warmup)
+			}
+			if warmed.Mispredicts() != full.Mispredicts()-prefixMiss {
+				t.Fatalf("measured mispredicts %d, want %d (state flush shifted the warmup accounting)",
+					warmed.Mispredicts(), full.Mispredicts()-prefixMiss)
+			}
+			if res := warmed.Result(); res.WarmupBranches != warmup {
+				t.Fatalf("warmup consumed %d branches, want %d", res.WarmupBranches, warmup)
+			}
+			if m.Branches.Value() != warmed.Branches() || m.Mispredicts.Value() != warmed.Mispredicts() {
+				t.Fatalf("metrics totals %d/%d, want the measured %d/%d exactly once",
+					m.Mispredicts.Value(), m.Branches.Value(), warmed.Mispredicts(), warmed.Branches())
+			}
+			// One more flush after quiescence must be a no-op.
+			warmed.FlushMetrics(m)
+			if m.Branches.Value() != warmed.Branches() {
+				t.Fatal("post-quiescence flush double-counted")
+			}
+		})
+	}
+}
+
 // TestSimZeroWarmupIsNewSim: NewSimWarmup(p, 0) behaves exactly like
 // NewSim(p).
 func TestSimZeroWarmupIsNewSim(t *testing.T) {

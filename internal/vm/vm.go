@@ -246,6 +246,12 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 	}
 }
 
+// Mem returns the machine's data memory. It aliases the live array, so
+// it is only meaningful after Run returns (Run clears memory at entry);
+// callers read algorithmic results — BFS levels, component labels,
+// counter words — that kernels leave behind, and must not mutate it.
+func (m *Machine) Mem() []int64 { return m.mem }
+
 func (m *Machine) set(rd isa.Reg, v int64) {
 	if rd != isa.RZero {
 		m.regs[rd] = v

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGraphBuild fuzzes the graph generator and kernel codegen across
+// the (kind, size, degree, seed, kernel, threshold) space: every
+// normalized spec must build a valid program, and — the expensive
+// invariant — executing both kernel variants of the fuzzed graph must
+// produce the identical result as the Go reference. The committed
+// corpus pins one representative of each kernel; CI replays it and
+// runs a short live campaign.
+func FuzzGraphBuild(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(20), uint16(4), uint64(1), uint8(0))
+	f.Add(uint8(1), uint8(1), uint16(24), uint16(5), uint64(7), uint8(2))
+	f.Add(uint8(2), uint8(2), uint16(16), uint16(3), uint64(13), uint8(3))
+	f.Add(uint8(0), uint8(2), uint16(32), uint16(7), uint64(99), uint8(5))
+	f.Fuzz(func(t *testing.T, kind, kernel uint8, nodes, degree uint16, seed uint64, threshold uint8) {
+		branchy := quickGraphSpec(kind, kernel, nodes, degree, seed, false, threshold)
+		if err := branchy.Validate(); err != nil {
+			t.Fatalf("normalized spec failed validation: %v", err)
+		}
+		if _, err := branchy.Build(1.0); err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		avoiding := branchy
+		avoiding.Avoiding = true
+		avoiding.Name += "-ba"
+
+		mb, sb, err := branchy.RunInto(1.0, nil, nil)
+		if err != nil {
+			t.Fatalf("run branchy: %v", err)
+		}
+		ma, sa, err := avoiding.RunInto(1.0, nil, nil)
+		if err != nil {
+			t.Fatalf("run avoiding: %v", err)
+		}
+		if !sb.Halted || !sa.Halted {
+			t.Fatal("kernel did not halt")
+		}
+		want := branchy.Reference()
+		if got := branchy.Result(mb); !reflect.DeepEqual(got, want) {
+			t.Fatalf("branchy diverges from reference:\n got %v\nwant %v", got, want)
+		}
+		if got := avoiding.Result(ma); !reflect.DeepEqual(got, want) {
+			t.Fatalf("branch-avoiding diverges from reference:\n got %v\nwant %v", got, want)
+		}
+	})
+}
