@@ -32,9 +32,34 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/progcheck"
+	"repro/internal/program"
 	"repro/internal/staticws"
 	"repro/internal/workload"
 )
+
+// verifyProgram runs the static program verifier (-progcheck),
+// printing every finding; error-severity findings reject the program
+// before it executes.
+func verifyProgram(p *program.Program) (*progcheck.Report, error) {
+	r := progcheck.Check(p)
+	errs := 0
+	for _, f := range r.Findings {
+		// Only the gating error findings print here; run the progcheck
+		// command for the full warn/info listing.
+		if f.Severity == progcheck.SevError {
+			fmt.Printf("progcheck: %s\n", f)
+			errs++
+		}
+	}
+	if errs > 0 {
+		return nil, fmt.Errorf("progcheck: %d error findings; program rejected", errs)
+	}
+	sum := r.Summary()
+	fmt.Printf("progcheck: ok (%d findings; %d branch sites: %d resolved, %d dead, %d data-dependent)\n",
+		len(r.Findings), sum.Sites, sum.Resolved, sum.Dead, sum.Data)
+	return r, nil
+}
 
 // verifyAllocation applies the optional seeded corruption, then runs
 // the graph and allocation verifiers (-check).
@@ -82,6 +107,7 @@ func main() {
 		corrupt   = flag.String("corrupt", "", "testing aid: seed a corruption before the checks (graph or alloc); implies -check")
 		metrics   = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
 		static    = flag.Bool("static", false, "allocate from the compile-time estimate (no profile run)")
+		progCheck = flag.Bool("progcheck", false, "verify each built program with the static verifier before running; error findings reject it, and with -static the proven facts prune resolved/dead branches from the conflict estimate")
 	)
 	flag.Parse()
 	if *corrupt != "" {
@@ -91,13 +117,13 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt, *static, reg); err != nil {
+	if err := run(*bench, *inputs, *scale, *size, *useClass, *findSize, *baseline, *threshold, *window, *shards, *check, *corrupt, *static, *progCheck, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "allocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string, static bool, reg *obs.Registry) error {
+func run(bench, inputs string, scale float64, size int, useClass, findSize bool, baseline int, threshold uint64, window, shards int, check bool, corrupt string, static, progCheck bool, reg *obs.Registry) error {
 	if bench == "" {
 		return fmt.Errorf("need -bench")
 	}
@@ -123,12 +149,27 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 		if err != nil {
 			return err
 		}
-		est, err := staticws.Analyze(prog)
+		var facts *staticws.BranchFacts
+		if progCheck {
+			r, err := verifyProgram(prog)
+			if err != nil {
+				return err
+			}
+			facts = &staticws.BranchFacts{
+				ResolvedTaken: r.Facts.ResolvedDirections(),
+				Dead:          r.Facts.DeadInsts(),
+			}
+		}
+		est, err := staticws.AnalyzeWithFacts(prog, facts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("static analysis of %s: no profile run\n", prog.Name)
 		fmt.Println(est.Describe())
+		if est.PrunedResolved+est.PrunedDead > 0 {
+			fmt.Printf("progcheck pruning: %d resolved + %d dead branch sites excluded from the conflict graph\n",
+				est.PrunedResolved, est.PrunedDead)
+		}
 		prof = est.Profile
 	} else {
 		var profiles []*profile.Profile
@@ -150,6 +191,15 @@ func run(bench, inputs string, scale float64, size int, useClass, findSize bool,
 			opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
 			if window > 0 {
 				opts = append(opts, profile.WithWindow(window))
+			}
+			if progCheck {
+				prog, err := spec.Build(in, scale)
+				if err != nil {
+					return err
+				}
+				if _, err := verifyProgram(prog); err != nil {
+					return err
+				}
 			}
 			p := profile.NewProfiler(bench, in.Name, opts...)
 			stats, err := spec.RunInto(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()}, p)

@@ -1,0 +1,13 @@
+; Corrupt fixture: a block no entry point reaches — the instructions
+; after the unconditional jump are dead code a generator should never
+; have emitted.
+.name dead_block
+.mem 64
+
+	addi r1, zero, 4
+	j end
+	addi r2, zero, 7   ; dead: skipped by the jump, targeted by nothing
+	st r2, 0(r1)
+end:
+	st r1, 0(r1)
+	halt

@@ -1,0 +1,15 @@
+; Corrupt fixture: a guard that can never fire. r1 is the constant 3,
+; so the bltz is provably never taken and the guarded block is
+; reachable only through a contradicted edge — the interval analysis
+; proves it dead.
+.name never_taken_guard
+.mem 64
+
+	addi r1, zero, 3
+	bltz r1, guard     ; never taken: r1 = 3
+	st r1, 4(zero)
+	halt
+guard:
+	addi r2, zero, 1   ; dead: only the impossible edge leads here
+	st r2, 8(zero)
+	halt

@@ -1,0 +1,14 @@
+; Corrupt fixture: a store whose effective address is provably outside
+; data memory. The machine allocates max(.mem, 4096) words, so the
+; 65536 built by lui is out of range on every execution — the verifier
+; must reject this before it ever reaches the VM.
+.name oob_store
+.mem 16
+
+	addi r1, zero, 1
+	st r1, -8(sp)      ; fine: below the top-of-memory stack pointer
+	lui r2, 1          ; r2 = 65536, beyond the 4096-word memory
+	st r1, 0(r2)       ; provably out of bounds
+	addi r3, zero, -9
+	ld r4, 0(r3)       ; provably negative address
+	halt

@@ -1,0 +1,9 @@
+; Corrupt fixture: reads of registers no definition reaches. At program
+; entry only sp carries a meaningful value; r3 and r4 are never written
+; anywhere, so the add consumes garbage (the VM's incidental zeros).
+.name uninit_read
+.mem 64
+
+	add r2, r3, r4     ; r3 and r4 have no reaching definition
+	st r2, 0(zero)
+	halt

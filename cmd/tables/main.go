@@ -55,6 +55,7 @@ func main() {
 		charact    = flag.Bool("charact", false, "run the branch predictability characterization (bias, entropy, history sensitivity) over the classic and graph benchmarks")
 		predictor  = flag.String("predictor", "", "restrict -zoo to these comma-separated predictors (pag, gshare, tage, perceptron)")
 		check      = flag.Bool("check", false, "run the internal/analysis artifact verifiers on every produced artifact")
+		progCheck  = flag.Bool("progcheck", false, "verify every compiled program with the static program verifier before it runs; error findings fail the run")
 		workers    = flag.Int("workers", 0, "concurrent benchmark workers (0 = GOMAXPROCS, 1 = serial)")
 		shards     = flag.Int("shards", 0, "intra-benchmark pair-count shards and clique-mining workers (0 = GOMAXPROCS, 1 = serial)")
 		fused      = flag.Bool("fused", true, "stream branch events straight into the analyses instead of recording full traces")
@@ -100,6 +101,7 @@ func main() {
 		Progress:      progress,
 		Metrics:       obs.New(reg),
 		Static:        *static,
+		ProgCheck:     *progCheck,
 	})
 
 	if *predictor != "" && !*zoo && !*graphs {

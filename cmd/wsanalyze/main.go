@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/progcheck"
 	"repro/internal/program"
 	"repro/internal/staticws"
 	"repro/internal/trace"
@@ -62,6 +63,7 @@ func main() {
 		charFlag    = flag.Bool("charact", false, "append the per-branch predictability characterization (bias, entropy, history-conditioned entropy) for the -top branches by execution count")
 		metrics     = flag.Bool("metrics", false, "instrument the run and append the metrics registry (text encoding) to the report")
 		static      = flag.Bool("static", false, "analyze the program at compile time (CFG/loop-nest estimate) instead of executing it")
+		progCheck   = flag.Bool("progcheck", false, "verify the program with the static verifier before running; error findings reject it, and with -static the proven facts prune resolved/dead branches from the conflict estimate")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -99,7 +101,14 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*bench, *input, *scale, *traceFile, *programFile, *save, *threshold, *window, *shards, *definition, *top, *coverage, *check, *corrupt, *static, *charFlag, reg); err != nil {
+	if err := run(runOpts{
+		bench: *bench, input: *input, scale: *scale,
+		traceFile: *traceFile, programFile: *programFile, save: *save,
+		threshold: *threshold, window: *window, shards: *shards,
+		definition: *definition, top: *top, coverage: *coverage,
+		check: *check, corrupt: *corrupt, static: *static,
+		charact: *charFlag, progCheck: *progCheck,
+	}, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "wsanalyze:", err)
 		os.Exit(1)
 	}
@@ -134,20 +143,32 @@ func inputSet(name string) (workload.InputSet, error) {
 	return workload.InputSet{}, fmt.Errorf("unknown input set %q (want ref, a, or b)", name)
 }
 
-func loadTrace(bench, input string, scale float64, traceFile, programFile, save string, coverage float64, m *obs.Metrics) (*trace.Trace, float64, error) {
-	if programFile != "" {
-		f, err := os.Open(programFile)
+// runOpts carries the CLI flags into run, keeping run testable without
+// a 17-way positional signature.
+type runOpts struct {
+	bench, input                 string
+	scale                        float64
+	traceFile, programFile, save string
+	threshold                    uint64
+	window, shards               int
+	definition                   string
+	top                          int
+	coverage                     float64
+	check                        bool
+	corrupt                      string
+	static                       bool
+	charact                      bool
+	progCheck                    bool
+}
+
+func loadTrace(o runOpts, m *obs.Metrics) (*trace.Trace, float64, error) {
+	coverage := o.coverage
+	if o.programFile != "" {
+		prog, err := buildProgram(o)
 		if err != nil {
 			return nil, 0, err
 		}
-		prog, err := program.Parse(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return nil, 0, err
-		}
-		in, err := inputSet(input)
+		in, err := inputSet(o.input)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -161,8 +182,8 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 		}
 		return rec.Finish(stats.Instructions), coverage, nil
 	}
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+	if o.traceFile != "" {
+		f, err := os.Open(o.traceFile)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -176,23 +197,23 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 		}
 		return tr, coverage, nil
 	}
-	if bench == "" {
+	if o.bench == "" {
 		return nil, 0, fmt.Errorf("need -bench, -trace, or -program (try -list)")
 	}
-	spec, err := workload.ByName(bench)
+	spec, err := workload.ByName(o.bench)
 	if err != nil {
 		return nil, 0, err
 	}
-	in, err := inputSet(input)
+	in, err := inputSet(o.input)
 	if err != nil {
 		return nil, 0, err
 	}
-	tr, _, err := spec.Run(workload.RunConfig{Input: in, Scale: scale, Metrics: m.VM()})
+	tr, _, err := spec.Run(workload.RunConfig{Input: in, Scale: o.scale, Metrics: m.VM()})
 	if err != nil {
 		return nil, 0, err
 	}
-	if save != "" {
-		f, err := os.Create(save)
+	if o.save != "" {
+		f, err := os.Create(o.save)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -203,7 +224,7 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 		if err := f.Close(); err != nil {
 			return nil, 0, err
 		}
-		fmt.Printf("trace saved to %s (%d events)\n", save, len(tr.Events))
+		fmt.Printf("trace saved to %s (%d events)\n", o.save, len(tr.Events))
 	}
 	if coverage == 0 {
 		coverage = spec.AnalyzeCoverage
@@ -211,11 +232,11 @@ func loadTrace(bench, input string, scale float64, traceFile, programFile, save 
 	return tr, coverage, nil
 }
 
-// staticProgram loads the program for compile-time analysis: a parsed
-// assembly file with -program, or the built benchmark program.
-func staticProgram(bench, input string, scale float64, programFile string) (*program.Program, error) {
-	if programFile != "" {
-		f, err := os.Open(programFile)
+// buildProgram loads the program under analysis: a parsed assembly file
+// with -program, or the built benchmark program.
+func buildProgram(o runOpts) (*program.Program, error) {
+	if o.programFile != "" {
+		f, err := os.Open(o.programFile)
 		if err != nil {
 			return nil, err
 		}
@@ -225,52 +246,102 @@ func staticProgram(bench, input string, scale float64, programFile string) (*pro
 		}
 		return prog, err
 	}
-	if bench == "" {
+	if o.bench == "" {
 		return nil, fmt.Errorf("need -bench or -program (try -list)")
 	}
-	spec, err := workload.ByName(bench)
+	spec, err := workload.ByName(o.bench)
 	if err != nil {
 		return nil, err
 	}
-	in, err := inputSet(input)
+	in, err := inputSet(o.input)
 	if err != nil {
 		return nil, err
 	}
-	return spec.Build(in, scale)
+	return spec.Build(in, o.scale)
 }
 
-func run(bench, input string, scale float64, traceFile, programFile, save string, threshold uint64, window, shards int, definition string, top int, coverage float64, check bool, corrupt string, static bool, charBranches bool, reg *obs.Registry) error {
+// verifyProgram runs the static verifier, printing every finding.
+// Error-severity findings (provable out-of-bounds accesses) reject the
+// program; the report is returned for its proven facts.
+func verifyProgram(p *program.Program) (*progcheck.Report, error) {
+	r := progcheck.Check(p)
+	errs := 0
+	for _, f := range r.Findings {
+		// Only the gating error findings print here; run the progcheck
+		// command for the full warn/info listing.
+		if f.Severity == progcheck.SevError {
+			fmt.Printf("progcheck: %s\n", f)
+			errs++
+		}
+	}
+	if errs > 0 {
+		return nil, fmt.Errorf("progcheck: %d error findings; program rejected", errs)
+	}
+	sum := r.Summary()
+	fmt.Printf("progcheck: ok (%d findings; %d branch sites: %d resolved, %d dead, %d data-dependent)\n",
+		len(r.Findings), sum.Sites, sum.Resolved, sum.Dead, sum.Data)
+	return r, nil
+}
+
+func run(o runOpts, reg *obs.Registry) error {
 	var def core.SetDefinition
-	switch definition {
+	switch o.definition {
 	case "cliques":
 		def = core.MaximalCliques
 	case "partition":
 		def = core.GreedyPartition
 	default:
-		return fmt.Errorf("unknown definition %q (want cliques or partition)", definition)
+		return fmt.Errorf("unknown definition %q (want cliques or partition)", o.definition)
 	}
 	m := obs.New(reg)
+	shards := o.shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	threshold := o.threshold
 	if threshold == 0 {
 		threshold = core.DefaultThreshold
 	}
 
-	var prof *profile.Profile
-	var col *charact.Collector
-	if static {
-		if traceFile != "" {
-			return fmt.Errorf("-static analyzes a program, not a recorded trace")
+	// -progcheck gates every path that has a program to verify; a
+	// recorded trace has none.
+	var report *progcheck.Report
+	if o.progCheck {
+		if o.traceFile != "" {
+			return fmt.Errorf("-progcheck verifies a program, not a recorded trace")
 		}
-		if charBranches {
-			return fmt.Errorf("-charact needs an executed branch stream; drop -static")
-		}
-		prog, err := staticProgram(bench, input, scale, programFile)
+		prog, err := buildProgram(o)
 		if err != nil {
 			return err
 		}
-		est, err := staticws.Analyze(prog)
+		if report, err = verifyProgram(prog); err != nil {
+			return err
+		}
+	}
+
+	var prof *profile.Profile
+	var col *charact.Collector
+	if o.static {
+		if o.traceFile != "" {
+			return fmt.Errorf("-static analyzes a program, not a recorded trace")
+		}
+		if o.charact {
+			return fmt.Errorf("-charact needs an executed branch stream; drop -static")
+		}
+		prog, err := buildProgram(o)
+		if err != nil {
+			return err
+		}
+		// Verifier facts, when present, prune resolved and dead branches
+		// from the compile-time conflict graph.
+		var facts *staticws.BranchFacts
+		if report != nil && report.Facts != nil {
+			facts = &staticws.BranchFacts{
+				ResolvedTaken: report.Facts.ResolvedDirections(),
+				Dead:          report.Facts.DeadInsts(),
+			}
+		}
+		est, err := staticws.AnalyzeWithFacts(prog, facts)
 		if err != nil {
 			return err
 		}
@@ -278,9 +349,13 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		fmt.Println(est.CFG)
 		fmt.Printf("loops: %d\n", len(est.Forest.Loops))
 		fmt.Println(est.Describe())
+		if est.PrunedResolved+est.PrunedDead > 0 {
+			fmt.Printf("progcheck pruning: %d resolved + %d dead branch sites excluded from the conflict graph\n",
+				est.PrunedResolved, est.PrunedDead)
+		}
 		prof = est.Profile
 	} else {
-		tr, cov, err := loadTrace(bench, input, scale, traceFile, programFile, save, coverage, m)
+		tr, cov, err := loadTrace(o, m)
 		if err != nil {
 			return err
 		}
@@ -292,13 +367,13 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 			filter.DynamicKept, 100*filter.Coverage(), filter.StaticKept)
 
 		opts := []profile.Option{profile.WithShards(shards), profile.WithMetrics(m.Profile())}
-		if window > 0 {
-			opts = append(opts, profile.WithWindow(window))
-			fmt.Printf("interleave scan window: %d (bounded approximation)\n", window)
+		if o.window > 0 {
+			opts = append(opts, profile.WithWindow(o.window))
+			fmt.Printf("interleave scan window: %d (bounded approximation)\n", o.window)
 		}
 		p := profile.NewProfiler(tr.Benchmark, tr.InputSet, opts...)
 		var sink vm.BranchSink = p
-		if charBranches {
+		if o.charact {
 			// The collector rides the very stream the profiler consumes,
 			// so the characterization describes the analyzed branches.
 			col = charact.NewCollector()
@@ -319,7 +394,7 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		return err
 	}
 
-	switch corrupt {
+	switch o.corrupt {
 	case "":
 	case "graph":
 		desc, err := analysis.CorruptGraph(res.Graph, threshold)
@@ -334,10 +409,10 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 		}
 		fmt.Printf("corrupted working sets: %s\n", desc)
 	default:
-		return fmt.Errorf("unknown -corrupt target %q (want graph or sets)", corrupt)
+		return fmt.Errorf("unknown -corrupt target %q (want graph or sets)", o.corrupt)
 	}
 
-	if check {
+	if o.check {
 		if err := analysis.VerifyGraph(res.Graph, threshold); err != nil {
 			return fmt.Errorf("check failed: %w", err)
 		}
@@ -358,6 +433,7 @@ func run(bench, input string, scale float64, traceFile, programFile, save string
 	fmt.Printf("largest set:          %d\n", res.MaxSetSize())
 	fmt.Printf("isolated branches:    %d\n", res.IsolatedBranches)
 
+	top := o.top
 	if top > len(res.Sets) {
 		top = len(res.Sets)
 	}

@@ -68,7 +68,7 @@ func checkGolden(t *testing.T, name, got string) {
 // statistics, and top sets.
 func TestGoldenProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, false, nil)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "cliques", top: 3}, nil)
 	})
 	checkGolden(t, "program.golden", out)
 }
@@ -79,7 +79,7 @@ func TestGoldenProgram(t *testing.T) {
 func TestGoldenProgramSharded(t *testing.T) {
 	for _, shards := range []int{2, 3, 7} {
 		out := captureStdout(t, func() error {
-			return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, shards, "cliques", 3, 0, false, "", false, false, nil)
+			return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: shards, definition: "cliques", top: 3}, nil)
 		})
 		checkGolden(t, "program.golden", out)
 	}
@@ -90,7 +90,7 @@ func TestGoldenProgramSharded(t *testing.T) {
 // artifact.
 func TestGoldenProgramCheck(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 2, "cliques", 3, 0, true, "", false, false, nil)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 2, definition: "cliques", top: 3, check: true}, nil)
 	})
 	checkGolden(t, "program_check.golden", out)
 }
@@ -99,7 +99,7 @@ func TestGoldenProgramCheck(t *testing.T) {
 // definition (-definition partition).
 func TestGoldenProgramPartition(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "partition", 3, 0, false, "", false, false, nil)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "partition", top: 3}, nil)
 	})
 	checkGolden(t, "program_partition.golden", out)
 }
@@ -109,7 +109,7 @@ func TestGoldenProgramPartition(t *testing.T) {
 func TestGoldenBench(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		out := captureStdout(t, func() error {
-			return run("li", "ref", 0.05, "", "", "", 100, 0, shards, "cliques", 3, 0, false, "", false, false, nil)
+			return run(runOpts{bench: "li", input: "ref", scale: 0.05, threshold: 100, shards: shards, definition: "cliques", top: 3}, nil)
 		})
 		checkGolden(t, "bench_li.golden", out)
 	}
@@ -130,7 +130,7 @@ func TestGoldenProgramMetrics(t *testing.T) {
 		obs.WithMemSource(func() uint64 { return 0 }),
 	)
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, false, reg)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "cliques", top: 3}, reg)
 	})
 	checkGolden(t, "program_metrics.golden", out)
 }
@@ -141,7 +141,7 @@ func TestGoldenProgramMetrics(t *testing.T) {
 // 0 selects the default, which the static weight model targets.
 func TestGoldenStaticProgram(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, false, nil)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", shards: 1, definition: "cliques", top: 3, static: true}, nil)
 	})
 	checkGolden(t, "program_static.golden", out)
 }
@@ -150,7 +150,7 @@ func TestGoldenStaticProgram(t *testing.T) {
 // program analyzed at compile time, with the verifier line in place.
 func TestGoldenStaticBench(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("li", "ref", 0.05, "", "", "", 0, 0, 1, "cliques", 3, 0, true, "", true, false, nil)
+		return run(runOpts{bench: "li", input: "ref", scale: 0.05, shards: 1, definition: "cliques", top: 3, check: true, static: true}, nil)
 	})
 	checkGolden(t, "bench_li_static.golden", out)
 }
@@ -158,7 +158,7 @@ func TestGoldenStaticBench(t *testing.T) {
 // TestStaticRejectsTrace: a recorded trace has no program structure to
 // analyze statically.
 func TestStaticRejectsTrace(t *testing.T) {
-	err := run("", "ref", 1.0, "some.bwt", "", "", 0, 0, 1, "cliques", 3, 0, false, "", true, false, nil)
+	err := run(runOpts{input: "ref", scale: 1.0, traceFile: "some.bwt", shards: 1, definition: "cliques", top: 3, static: true}, nil)
 	if err == nil {
 		t.Fatal("-static -trace unexpectedly succeeded")
 	}
@@ -171,7 +171,7 @@ func TestStaticRejectsTrace(t *testing.T) {
 // is byte-identical to program.golden.
 func TestGoldenProgramCharact(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, false, "", false, true, nil)
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "cliques", top: 3, charact: true}, nil)
 	})
 	checkGolden(t, "program_charact.golden", out)
 }
@@ -179,7 +179,7 @@ func TestGoldenProgramCharact(t *testing.T) {
 // TestStaticRejectsCharact: characterization needs an executed branch
 // stream, which the compile-time path never produces.
 func TestStaticRejectsCharact(t *testing.T) {
-	err := run("", "ref", 1.0, "", "testdata/interleave.s", "", 0, 0, 1, "cliques", 3, 0, false, "", true, true, nil)
+	err := run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", shards: 1, definition: "cliques", top: 3, static: true, charact: true}, nil)
 	if err == nil {
 		t.Fatal("-static -charact unexpectedly succeeded")
 	}
@@ -195,7 +195,7 @@ func TestCorruptFailsCheck(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = devnull
-		err = run("", "ref", 1.0, "", "testdata/interleave.s", "", 40, 0, 1, "cliques", 3, 0, true, target, false, false, nil)
+		err = run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "cliques", top: 3, check: true, corrupt: target}, nil)
 		os.Stdout = old
 		if cerr := devnull.Close(); cerr != nil {
 			t.Fatal(cerr)
@@ -203,5 +203,33 @@ func TestCorruptFailsCheck(t *testing.T) {
 		if err == nil {
 			t.Errorf("-corrupt %s: check unexpectedly passed", target)
 		}
+	}
+}
+
+// TestGoldenProgramProgcheck covers the -progcheck gate on the dynamic
+// path: verifier findings and the ok line precede the report, and the
+// clean fixture passes the gate.
+func TestGoldenProgramProgcheck(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", threshold: 40, shards: 1, definition: "cliques", top: 3, progCheck: true}, nil)
+	})
+	checkGolden(t, "program_progcheck.golden", out)
+}
+
+// TestGoldenStaticProgcheck covers -static -progcheck: the verifier's
+// proven facts feed the compile-time estimate (pruning resolved and
+// dead branches from the conflict graph when any are proven).
+func TestGoldenStaticProgcheck(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(runOpts{input: "ref", scale: 1.0, programFile: "testdata/interleave.s", shards: 1, definition: "cliques", top: 3, static: true, progCheck: true}, nil)
+	})
+	checkGolden(t, "program_static_progcheck.golden", out)
+}
+
+// TestProgcheckRejectsTrace: a recorded trace has no program to verify.
+func TestProgcheckRejectsTrace(t *testing.T) {
+	err := run(runOpts{input: "ref", scale: 1.0, traceFile: "some.bwt", shards: 1, definition: "cliques", top: 3, progCheck: true}, nil)
+	if err == nil {
+		t.Fatal("-progcheck -trace unexpectedly succeeded")
 	}
 }

@@ -481,6 +481,111 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// TestProgcheckKind covers the program-verification endpoint: a clean
+// program is verified as a job and returns the report; a corrupt one is
+// rejected at submit time with a structured 400 whose body carries the
+// findings, and never reaches the job queue.
+func TestProgcheckKind(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 1))
+
+	const clean = `.name demo
+	addi r1, zero, 8
+L0:	addi r1, r1, -1
+	bne r1, zero, L0
+	halt
+`
+	id := submit(t, ts, analyzeRequest{Kind: "progcheck", Program: clean})
+	j := poll(t, ts, id)
+	if j.Status != "done" {
+		t.Fatalf("progcheck job failed: %s", j.Error)
+	}
+	if !strings.Contains(j.Result, "branch sites") {
+		t.Errorf("progcheck result missing summary line:\n%s", j.Result)
+	}
+
+	// A provably out-of-bounds store fails verification before enqueue:
+	// the 400 body is structured {error, findings} with the error
+	// finding present, and no job is created for it.
+	const oob = `.name bad
+	addi r1, zero, 1
+	lui r2, 1
+	st r1, 0(r2)
+	halt
+`
+	resp, body := postJSON(t, ts.URL+"/analyze", analyzeRequest{Kind: "progcheck", Program: oob})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt program: status %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	var reject errorBody
+	if err := json.Unmarshal(body, &reject); err != nil {
+		t.Fatalf("decoding rejection: %v\nbody: %s", err, body)
+	}
+	if !strings.Contains(reject.Error, "rejected") {
+		t.Errorf("rejection error = %q, want a rejection message", reject.Error)
+	}
+	errors := 0
+	for _, f := range reject.Findings {
+		if f.Severity == "error" {
+			errors++
+		}
+	}
+	if errors == 0 {
+		t.Errorf("rejection body carries no error findings: %s", body)
+	}
+
+	var list struct {
+		Jobs []struct {
+			Kind string `json:"kind"`
+		} `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 {
+		t.Errorf("rejected program reached the job queue: %+v", list.Jobs)
+	}
+
+	// Unparseable source, a missing program, and a program on a
+	// non-progcheck kind are all structured 400s.
+	for name, req := range map[string]analyzeRequest{
+		"parse error":            {Kind: "progcheck", Program: "bogus instruction"},
+		"missing program":        {Kind: "progcheck"},
+		"program on wrong kind":  {Kind: "all", Program: clean},
+		"predictor on progcheck": {Kind: "progcheck", Program: clean, Predictor: "pag"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/analyze", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, resp.StatusCode, body)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: 400 body not structured {error}: %s", name, body)
+		}
+	}
+}
+
+// TestProgCheckConfig covers the harness verification gate through the
+// service: a job with progcheck on must return bytes identical to a
+// direct harness run under the same config — the gate verifies every
+// compiled program without perturbing the rendered experiment.
+func TestProgCheckConfig(t *testing.T) {
+	ts := newTestService(t, newServer(obs.NewRegistry(), 1))
+	id := submit(t, ts, analyzeRequest{Kind: "table", Table: 1, Scale: 0.02, ProgCheck: true})
+	j := poll(t, ts, id)
+	if j.Status != "done" {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+
+	direct := harness.NewSuite(harness.Config{Scale: 0.02, Fused: true, ProgCheck: true})
+	var want bytes.Buffer
+	if err := harness.RunTable(direct, &want, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != want.String() {
+		t.Errorf("service result differs from direct harness run (%d vs %d bytes)",
+			len(j.Result), want.Len())
+	}
+}
+
 // TestJobsListing checks /jobs reports submission order and statuses.
 func TestJobsListing(t *testing.T) {
 	ts := newTestService(t, newServer(obs.NewRegistry(), 1))

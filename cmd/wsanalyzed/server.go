@@ -13,6 +13,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/predict"
+	"repro/internal/progcheck"
+	"repro/internal/program"
 )
 
 // analyzeRequest is the POST /analyze body: which experiment to run and
@@ -27,9 +29,10 @@ type analyzeRequest struct {
 	// hashed perceptron), "graphs" (the graph workloads: branchy vs
 	// branch-avoiding BFS/CC/triangle kernels under the zoo), or
 	// "charact" (the branch predictability characterization: bias,
-	// entropy, history sensitivity). The query parameter ?mode= is an
-	// alias for Kind, so `POST /analyze?mode=static` with an empty body
-	// works too.
+	// entropy, history sensitivity), or "progcheck" (run the static
+	// program verifier over the assembly source in Program). The query
+	// parameter ?mode= is an alias for Kind, so `POST
+	// /analyze?mode=static` with an empty body works too.
 	Kind string `json:"kind"`
 	// Table (1-4) and Figure (3-4) select the numbered experiment for
 	// kind "table" / "figure".
@@ -40,6 +43,16 @@ type analyzeRequest struct {
 	// runs them all. The query parameter ?predictor= is an alias,
 	// mirroring ?mode=.
 	Predictor string `json:"predictor,omitempty"`
+	// Program is the assembly source for kind "progcheck". It is parsed
+	// and verified before the job enqueues: a program with failing
+	// (error or warn) findings never reaches the job queue — the submit
+	// gets a 400 whose body carries the findings.
+	Program string `json:"program,omitempty"`
+	// ProgCheck turns on the harness verification gate
+	// (harness.Config.ProgCheck) for the experiment kinds: every
+	// compiled workload program is verified before it runs, and
+	// error-severity findings fail the job.
+	ProgCheck bool `json:"progcheck,omitempty"`
 
 	Scale        float64 `json:"scale,omitempty"`
 	Threshold    uint64  `json:"threshold,omitempty"`
@@ -70,13 +83,36 @@ func (r *analyzeRequest) validate() error {
 			}
 		}
 	case "charact":
+	case "progcheck":
+		if strings.TrimSpace(r.Program) == "" {
+			return fmt.Errorf("kind %q needs assembly source in \"program\"", r.Kind)
+		}
 	default:
-		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static, zoo, graphs, charact)", r.Kind)
+		return fmt.Errorf("unknown kind %q (have all, table, figure, ablations, extras, static, zoo, graphs, charact, progcheck)", r.Kind)
 	}
 	if r.Predictor != "" && r.Kind != "zoo" && r.Kind != "graphs" {
 		return fmt.Errorf("predictor %q only applies to kinds \"zoo\" and \"graphs\", not %q", r.Predictor, r.Kind)
 	}
+	if r.Program != "" && r.Kind != "progcheck" {
+		return fmt.Errorf("program source only applies to kind \"progcheck\", not %q", r.Kind)
+	}
 	return nil
+}
+
+// vetProgram parses and verifies the submitted assembly before the job
+// enqueues, so a corrupt program never reaches the job queue. A parse
+// failure or any failing (error or warn) finding rejects the program;
+// the returned findings go into the 400 body.
+func (r *analyzeRequest) vetProgram() ([]progcheck.Finding, error) {
+	p, err := program.ParseString(r.Program)
+	if err != nil {
+		return nil, err
+	}
+	rep := progcheck.Check(p)
+	if failing := progcheck.Failing(rep.Findings); len(failing) > 0 {
+		return rep.Findings, fmt.Errorf("program %q rejected: %d findings fail verification", p.Name, len(failing))
+	}
+	return nil, nil
 }
 
 // splitPredictorKinds parses the comma-separated predictor selection;
@@ -98,6 +134,9 @@ func splitPredictorKinds(s string) []string {
 // rendered output — the same bytes the corresponding harness.Run* call
 // writes, which the round-trip test asserts.
 func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
+	if req.Kind == "progcheck" {
+		return runProgcheckJob(req.Program)
+	}
 	fused := true
 	if req.Fused != nil {
 		fused = *req.Fused
@@ -110,6 +149,7 @@ func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
 		Workers:       req.Workers,
 		ProfileShards: req.Shards,
 		Fused:         fused,
+		ProgCheck:     req.ProgCheck,
 		Metrics:       m,
 	})
 	var buf bytes.Buffer
@@ -140,6 +180,28 @@ func executeJob(req analyzeRequest, m *obs.Metrics) (string, error) {
 		return "", err
 	}
 	return buf.String(), nil
+}
+
+// runProgcheckJob renders the verifier report for an already-vetted
+// program: one line per finding (only advisory findings survive the
+// submit gate) and the cmd/progcheck-style summary line.
+func runProgcheckJob(src string) (string, error) {
+	p, err := program.ParseString(src)
+	if err != nil {
+		return "", err
+	}
+	r := progcheck.Check(p)
+	var b bytes.Buffer
+	counts := map[progcheck.Severity]int{}
+	for _, f := range r.Findings {
+		counts[f.Severity]++
+		fmt.Fprintf(&b, "%s: %s\n", p.Name, f)
+	}
+	s := r.Summary()
+	fmt.Fprintf(&b, "%s: %d findings (%d error, %d warn, %d info); %d branch sites: %d latch, %d exit, %d guard, %d resolved, %d dead, %d data-dependent\n",
+		p.Name, len(r.Findings), counts[progcheck.SevError], counts[progcheck.SevWarn], counts[progcheck.SevInfo],
+		s.Sites, s.Latch, s.Exit, s.Guard, s.Resolved, s.Dead, s.Data)
+	return b.String(), nil
 }
 
 // job is one submitted analysis. Fields past the ID are guarded by the
@@ -235,8 +297,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorBody is the structured rejection: every 400 carries the error
+// text, and program rejections additionally carry the verifier
+// findings that failed the submission.
 type errorBody struct {
-	Error string `json:"error"`
+	Error    string              `json:"error"`
+	Findings []progcheck.Finding `json:"findings,omitempty"`
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -267,6 +333,12 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err := req.validate(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
+	}
+	if req.Kind == "progcheck" {
+		if findings, err := req.vetProgram(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Findings: findings})
+			return
+		}
 	}
 
 	// The draining check, the job registration, and the WaitGroup add

@@ -78,6 +78,11 @@ func (s *Suite) computeGraph(name string) (*GraphArtifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: building graph %s: %w", name, err)
 	}
+	if s.cfg.ProgCheck {
+		if _, err := s.verifyProgram(spec.Name, p); err != nil {
+			return nil, err
+		}
+	}
 	s.progressf("run graph %s (%s %s, %d nodes, scale %.2f)",
 		spec.Name, spec.Variant(), spec.Kind, spec.Nodes, s.cfg.Scale)
 	execSpan := s.stageSpan(spec.Name, "execute")
@@ -363,5 +368,5 @@ func RunGraphs(s *Suite, w io.Writer, markdown bool, kinds ...string) error {
 	}
 	section(w, "Extended: graph workloads — branchy vs branch-avoiding kernels under the zoo")
 	_, _ = io.WriteString(w, RenderGraphs(res, markdown))
-	return nil
+	return RunGraphVerification(s, w, markdown)
 }

@@ -94,8 +94,19 @@ func (s *Suite) staticRow(a *Artifacts) (StaticRow, error) {
 	if err != nil {
 		return row, err
 	}
+	// With ProgCheck on, the verifier's proven facts prune resolved and
+	// dead branches from the compile-time conflict graph before
+	// allocation.
+	var facts *staticws.BranchFacts
+	if s.cfg.ProgCheck {
+		r, err := s.verifyProgram(a.Spec.Name+"/"+a.Input.Name+" (static)", prog)
+		if err != nil {
+			return row, err
+		}
+		facts = staticFacts(r)
+	}
 	span := s.stageSpan(a.Spec.Name, "static-analyze")
-	est, err := staticws.Analyze(prog)
+	est, err := staticws.AnalyzeWithFacts(prog, facts)
 	span.End()
 	if err != nil {
 		return row, fmt.Errorf("harness: static analysis of %s: %w", a.Spec.Name, err)

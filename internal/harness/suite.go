@@ -97,6 +97,16 @@ type Config struct {
 	// allocation from the compile-time estimate, package staticws) to
 	// RunAll output.
 	Static bool
+	// ProgCheck verifies every compiled program with the static program
+	// verifier (package progcheck) before it runs, failing the
+	// computation on error-severity findings (provable out-of-bounds
+	// accesses). Warn/info findings — dead code, resolved branches — are
+	// reported through Progress but do not fail: the seed benchmarks
+	// legitimately carry scene schedules that leave functions uncalled
+	// at small scales. With Static set, the verifier's proven facts also
+	// prune resolved and dead branches from the compile-time conflict
+	// graph.
+	ProgCheck bool
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -228,6 +238,15 @@ func (s *Suite) compute(benchmark string, input workload.InputSet) (*Artifacts, 
 	spec, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.ProgCheck {
+		p, err := spec.Build(input, s.cfg.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("harness: building %s: %w", spec.Name, err)
+		}
+		if _, err := s.verifyProgram(spec.Name+"/"+input.Name, p); err != nil {
+			return nil, err
+		}
 	}
 	if s.cfg.Fused {
 		return s.computeFused(spec, input)

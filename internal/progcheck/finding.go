@@ -1,0 +1,110 @@
+// Package progcheck is the static program verifier for guest ISA
+// programs: it instantiates the package dataflow framework over
+// package cfg's basic-block CFGs and reports, before a program ever
+// reaches the VM or the wsanalyzed job queue, the defects that
+// otherwise surface only as runtime faults or wasted predictor table
+// entries — provably out-of-bounds memory accesses, unreachable code,
+// uninitialized-register reads, and conditional branches that can
+// never go one way.
+//
+// Findings follow the reprolint model: three severities where error
+// and warn fail a check and info is advisory, a stable total order,
+// JSON rendering, and a baseline workflow in cmd/progcheck. Every
+// *proven* fact (reachability, memory bounds, branch resolution) is
+// additionally packaged as Facts and can be replayed against a live
+// execution with CrossCheck — a mismatch is a bug in this analyzer,
+// package cfg, or the VM, and the differential soundness suite runs
+// exactly that oracle over every seed and graph workload.
+package progcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity ranks findings, mirroring reprolint: error and warn fail a
+// check, info is advisory.
+type Severity string
+
+const (
+	// SevError marks defects that fault at runtime (out-of-bounds
+	// memory accesses) or make the program unanalyzable (validation
+	// failures).
+	SevError Severity = "error"
+	// SevWarn marks structural defects that run but indicate a broken
+	// generator or a hand-editing mistake: dead code, reads of
+	// registers no definition reaches.
+	SevWarn Severity = "warn"
+	// SevInfo marks advisory facts — statically-resolved branches are
+	// legitimate in real programs (guards on compile-time-constant trip
+	// counts) but worth surfacing: they waste predictor table entries.
+	SevInfo Severity = "info"
+)
+
+// Fails reports whether a finding of this severity fails a check.
+func (s Severity) Fails() bool { return s != SevInfo }
+
+// rank orders severities for display: error < warn < info.
+func (s Severity) rank() int {
+	switch s {
+	case SevError:
+		return 0
+	case SevWarn:
+		return 1
+	}
+	return 2
+}
+
+// Finding is one verifier diagnostic, anchored to an instruction.
+type Finding struct {
+	// Inst is the instruction index, or -1 for program-level findings.
+	Inst int `json:"inst"`
+	// PC is the byte address of Inst (0 for program-level findings).
+	PC uint64 `json:"pc"`
+	// Pass names the analysis: validate, oob, unreachable, resolved,
+	// uninit.
+	Pass string `json:"pass"`
+	// Severity is error, warn, or info.
+	Severity Severity `json:"severity"`
+	// Msg is the human-readable diagnostic.
+	Msg string `json:"msg"`
+}
+
+func (f Finding) String() string {
+	where := "program"
+	if f.Inst >= 0 {
+		where = fmt.Sprintf("inst %d (pc %d)", f.Inst, f.PC)
+	}
+	return fmt.Sprintf("%s: %s: %s: %s", where, f.Severity, f.Pass, f.Msg)
+}
+
+// SortFindings puts findings in the stable total order reports and
+// baselines rely on: instruction, then severity, then pass, then
+// message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Inst != b.Inst {
+			return a.Inst < b.Inst
+		}
+		if a.Severity != b.Severity {
+			return a.Severity.rank() < b.Severity.rank()
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Failing returns the findings whose severity fails a check, in input
+// order.
+func Failing(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity.Fails() {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package progcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/vm"
+)
+
+// fuzzCap bounds each differential replay; fuzzed programs loop freely
+// and the oracle checks every retired instruction, so a short run
+// already exercises each reachable site.
+const fuzzCap = 200_000
+
+// FuzzProgCheck fuzzes the verifier with arbitrary assembly source:
+// Check must never panic, and on any program it accepts, every proven
+// fact must survive a live run (the CrossCheck differential oracle). A
+// runtime fault is the fuzzed program's own business — exactly what an
+// oob finding predicts — but a "crosscheck:" violation is a verifier
+// bug. The committed corpus seeds one program per analysis pass.
+func FuzzProgCheck(f *testing.F) {
+	seeds := []string{
+		// Clean counted loop: latch branch, no memory traffic.
+		".name loop\n\taddi r1, zero, 8\nL0:\taddi r1, r1, -1\n\tbne r1, zero, L0\n\thalt\n",
+		// Provably out-of-bounds store and negative-address load.
+		".name oob\n.mem 16\n\tlui r2, 1\n\taddi r1, zero, 1\n\tst r1, 0(r2)\n\taddi r3, zero, -9\n\tld r4, 0(r3)\n\thalt\n",
+		// Statically resolved guard plus the dead code behind it.
+		".name resolved\n\taddi r1, zero, 3\n\tbeq r1, zero, L0\n\thalt\nL0:\taddi r2, zero, 1\n\thalt\n",
+		// Read of a register no definition reaches.
+		".name uninit\n\tadd r3, r1, r2\n\thalt\n",
+		// Call/ret pair: interprocedural liveness and callee intervals.
+		".name call\n\taddi r1, zero, 2\n\tcall L0\n\thalt\nL0:\tadd r2, r1, r1\n\tret ra\n",
+		// Data-dependent branch on VM-seeded randomness.
+		".name rand\n\trand r1\n\tbltz r1, L0\n\taddi r2, zero, 1\nL0:\thalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := program.ParseString(src)
+		if err != nil {
+			t.Skip()
+		}
+		r := Check(p)
+		if r.Facts == nil {
+			return // rejected at validation: nothing proven, nothing to replay
+		}
+		// The classification passes must hold on anything Check accepts.
+		_ = r.Summary()
+		if _, err := CrossCheck(p, r.Facts, vm.Config{DataSeed: 1, MaxInstructions: fuzzCap}); err != nil &&
+			strings.Contains(err.Error(), "crosscheck:") {
+			t.Fatalf("proven fact violated at runtime: %v\nprogram:\n%s", err, src)
+		}
+	})
+}

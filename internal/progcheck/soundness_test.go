@@ -1,0 +1,125 @@
+package progcheck
+
+// The differential soundness suite: every fact the verifier *proves*
+// about a program must hold on every dynamic execution. Running the
+// whole seed and graph workload corpora through CrossCheck is the
+// oracle — a single violation means the analyzer, the CFG builder, or
+// the VM disagree about the machine's semantics, and whichever is
+// wrong is a bug.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// soundnessCap keeps each differential run short; facts are checked on
+// every retired instruction, so a few million instructions exercise
+// every reachable site many times over.
+const soundnessCap = 2_000_000
+
+// checkClean asserts p verifies with no error findings — dead-code
+// warns are legitimate in seed benchmarks, whose scene schedules call
+// only a subset of the emitted functions at small scales — and that
+// every proven fact survives a live run.
+func checkClean(t *testing.T, name string, p *program.Program, seed uint64) *Report {
+	t.Helper()
+	r := Check(p)
+	for _, f := range Failing(r.Findings) {
+		if f.Severity == SevWarn && f.Pass == "unreachable" {
+			continue
+		}
+		t.Errorf("%s: unexpected failing finding: %s", name, f)
+	}
+	if r.Facts == nil {
+		t.Fatalf("%s: no facts produced", name)
+	}
+	if _, err := CrossCheck(p, r.Facts, vm.Config{DataSeed: seed, MaxInstructions: soundnessCap}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+	return r
+}
+
+func TestSoundnessSeedWorkloads(t *testing.T) {
+	for _, s := range workload.Specs() {
+		for _, input := range []workload.InputSet{workload.InputA, workload.InputB} {
+			p, err := s.Build(input, 0.1)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", s.Name, input.Name, err)
+			}
+			checkClean(t, s.Name+"/"+input.Name, p, input.Seed)
+		}
+	}
+}
+
+func TestSoundnessGraphWorkloads(t *testing.T) {
+	for _, g := range workload.Graphs() {
+		p, err := g.Build(0.5)
+		if err != nil {
+			t.Fatalf("%s: build: %v", g.Name, err)
+		}
+		checkClean(t, g.Name, p, 1)
+	}
+}
+
+// TestCrossCheckCatchesLies plants deliberately false facts and
+// asserts the oracle rejects each one — the suite above is only
+// meaningful if a violated fact actually fails.
+func TestCrossCheckCatchesLies(t *testing.T) {
+	s := workload.Specs()[0]
+	p, err := s.Build(workload.InputRef, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(p)
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			t.Fatalf("seed workload unexpectedly has error finding: %s", f)
+		}
+	}
+
+	lie := func(mutate func(f *Facts)) error {
+		f := newFacts(len(p.Code), r.Facts.MemSize)
+		mutate(f)
+		_, err := CrossCheck(p, f, vm.Config{DataSeed: 1, MaxInstructions: soundnessCap})
+		return err
+	}
+
+	if err := lie(func(f *Facts) { f.Unreachable[0] = true }); err == nil {
+		t.Error("false unreachable fact not caught")
+	}
+	// Claim the first executed branch never goes the way it first goes.
+	var firstPC uint64
+	var firstTaken bool
+	got := false
+	vm.Run(p, vm.Config{DataSeed: 1, MaxInstructions: soundnessCap,
+		Sink: vm.BranchFunc(func(pc uint64, taken bool, icount uint64) {
+			if !got {
+				firstPC, firstTaken, got = pc, taken, true
+			}
+		})})
+	if !got {
+		t.Fatal("workload retired no branches")
+	}
+	if err := lie(func(f *Facts) {
+		idx := isa.IndexOf(firstPC)
+		f.ResolvedKnown[idx] = true
+		f.ResolvedTaken[idx] = !firstTaken
+	}); err == nil {
+		t.Error("false resolved-branch fact not caught")
+	}
+	// Claim every load/store stays at address 0 — any real access to a
+	// nonzero address must trip the oracle.
+	if err := lie(func(f *Facts) {
+		for i, in := range p.Code {
+			if in.Op == isa.OpLoad || in.Op == isa.OpStore {
+				f.BoundsKnown[i] = true
+			}
+		}
+	}); err == nil {
+		t.Error("false memory-bounds fact not caught")
+	}
+}

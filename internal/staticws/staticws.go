@@ -100,6 +100,10 @@ type Estimate struct {
 	Depth []int
 	// Bias[id] is the per-branch idiom classification.
 	Bias []Bias
+	// PrunedResolved and PrunedDead count the branch sites excluded
+	// from the conflict graph because verifier facts proved their
+	// direction constant or their code unreachable.
+	PrunedResolved, PrunedDead int
 }
 
 // LoopBranches returns how many branches sit inside at least one loop.
@@ -139,6 +143,39 @@ func (e *Estimate) BiasCounts() (unknown, taken, notTaken int) {
 	return
 }
 
+// BranchFacts carries verifier-proven branch facts into the static
+// estimate. The fields mirror what package progcheck proves, without
+// this package importing the verifier: callers convert its Facts.
+// Proven branches keep their profile nodes — the node set must remain
+// exactly Program.CondBranchPCs() — but contribute no conflict pairs:
+// a branch the compiler already knows the direction of needs no
+// two-bit counter, so it cannot contend for one.
+type BranchFacts struct {
+	// ResolvedTaken maps a conditional-branch instruction index to its
+	// proven constant direction (true = always taken).
+	ResolvedTaken map[int]bool
+	// Dead marks instruction indices proven unreachable.
+	Dead map[int]bool
+}
+
+// prunedSites counts the facts that name actual conditional branches.
+func (f *BranchFacts) prunedSites(idOf map[int]int32) (resolved, dead int) {
+	if f == nil {
+		return 0, 0
+	}
+	for inst := range f.ResolvedTaken {
+		if _, ok := idOf[inst]; ok {
+			resolved++
+		}
+	}
+	for inst := range f.Dead {
+		if _, ok := idOf[inst]; ok {
+			dead++
+		}
+	}
+	return resolved, dead
+}
+
 // funcSummary is the loop-free view of one function as seen from a
 // call site outside any of its loops: the branches that execute at the
 // caller's loop depth and the loop roots that nest one level deeper.
@@ -174,10 +211,25 @@ type analyzer struct {
 
 	// members[loopID] memoizes the full interprocedural member set.
 	members map[int][]int32
+
+	// pruned marks profile ids excluded from conflict emission because
+	// verifier facts proved the branch resolved or dead.
+	pruned map[int32]bool
 }
 
 // Analyze computes the static working-set estimate of p.
 func Analyze(p *program.Program) (*Estimate, error) {
+	return AnalyzeWithFacts(p, nil)
+}
+
+// AnalyzeWithFacts computes the static working-set estimate of p with
+// verifier-proven branch facts applied: resolved and dead branches are
+// pruned from the conflict graph (they emit no pairs and so claim no
+// counter), resolved branches report their proven direction as bias,
+// and dead branches report zero executions. The profile node set is
+// unchanged — still exactly p.CondBranchPCs() — so every downstream
+// consumer and artifact verifier runs on the result as-is.
+func AnalyzeWithFacts(p *program.Program, facts *BranchFacts) (*Estimate, error) {
 	g, err := cfg.Build(p)
 	if err != nil {
 		return nil, err
@@ -199,6 +251,19 @@ func Analyze(p *program.Program) (*Estimate, error) {
 		callsFree: make(map[int][]int),
 		ctxDepth:  make(map[int]int), ctxOnStack: make(map[int]bool),
 		members: make(map[int][]int32),
+		pruned:  make(map[int32]bool),
+	}
+	if facts != nil {
+		for inst := range facts.ResolvedTaken {
+			if id, ok := idOf[inst]; ok {
+				a.pruned[id] = true
+			}
+		}
+		for inst := range facts.Dead {
+			if id, ok := idOf[inst]; ok {
+				a.pruned[id] = true
+			}
+		}
 	}
 	for _, c := range g.Calls {
 		a.callee[c.Inst] = c.Callee
@@ -233,11 +298,15 @@ func Analyze(p *program.Program) (*Estimate, error) {
 		w := Weight(depth)
 		units := make([][]int32, 0, 8)
 		for _, b := range a.directBranches(l) {
-			units = append(units, []int32{b})
 			if d := est.Depth[b]; depth > d {
 				est.Depth[b] = depth
 			}
 			prof.Exec[b] += Weight(depth)
+			// Pruned branches keep their execution estimate but join no
+			// unit: with no counter to claim, they cannot conflict.
+			if !a.pruned[b] {
+				units = append(units, []int32{b})
+			}
 		}
 		for _, child := range a.childLoops(l) {
 			units = append(units, a.loopMembers(child))
@@ -274,6 +343,31 @@ func Analyze(p *program.Program) (*Estimate, error) {
 		default:
 			prof.Taken[id] = prof.Exec[id] / 2
 		}
+	}
+	if facts != nil {
+		// Proven directions beat idiom guesses, and proven-dead branches
+		// execute exactly never. Applied after the Exec fallback above so
+		// dead branches stay at zero.
+		for inst, taken := range facts.ResolvedTaken {
+			id, ok := idOf[inst]
+			if !ok {
+				continue
+			}
+			if taken {
+				est.Bias[id] = BiasTaken
+				prof.Taken[id] = prof.Exec[id]
+			} else {
+				est.Bias[id] = BiasNotTaken
+				prof.Taken[id] = 0
+			}
+		}
+		for inst := range facts.Dead {
+			if id, ok := idOf[inst]; ok {
+				prof.Exec[id] = 0
+				prof.Taken[id] = 0
+			}
+		}
+		est.PrunedResolved, est.PrunedDead = facts.prunedSites(idOf)
 	}
 	var insts uint64
 	for _, e := range prof.Exec {
@@ -380,7 +474,7 @@ func (a *analyzer) loopMembers(l *cfg.Loop) []int32 {
 	var out []int32
 	add := func(ids []int32) {
 		for _, id := range ids {
-			if !seen[id] {
+			if !seen[id] && !a.pruned[id] {
 				seen[id] = true
 				out = append(out, id)
 			}

@@ -390,3 +390,93 @@ func TestDeterminism(t *testing.T) {
 		t.Fatal("Describe diverges between runs")
 	}
 }
+
+// TestAnalyzeWithFactsPrunes: verifier facts remove proven branches
+// from the conflict graph without perturbing the node set.
+func TestAnalyzeWithFactsPrunes(t *testing.T) {
+	p := buildLoopWithCalls(t)
+	plain, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latch, free, leaf1, leaf2 int32 = -1, -1, -1, -1
+	for id, pc := range plain.Profile.PCs {
+		in := p.Code[isa.IndexOf(pc)]
+		switch {
+		case in.Op == isa.OpBne:
+			latch = int32(id)
+		case in.Op == isa.OpBltz:
+			leaf2 = int32(id)
+		case in.Op == isa.OpBgez && in.Rs == 1:
+			free = int32(id)
+		case in.Op == isa.OpBgez && in.Rs == 2:
+			leaf1 = int32(id)
+		}
+	}
+
+	// Pretend the verifier proved leaf1 never taken and the loop-free
+	// branch dead (it can't in this fixture — rand feeds them — but the
+	// pruning contract doesn't care where the facts came from).
+	facts := &BranchFacts{
+		ResolvedTaken: map[int]bool{isa.IndexOf(plain.Profile.PCs[leaf1]): false},
+		Dead:          map[int]bool{isa.IndexOf(plain.Profile.PCs[free]): true},
+	}
+	est, err := AnalyzeWithFacts(p, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(est.Profile.PCs, p.CondBranchPCs()) {
+		t.Fatalf("node set changed under facts: %v != %v", est.Profile.PCs, p.CondBranchPCs())
+	}
+	if est.PrunedResolved != 1 || est.PrunedDead != 1 {
+		t.Errorf("pruned counts = %d resolved, %d dead; want 1, 1", est.PrunedResolved, est.PrunedDead)
+	}
+
+	// Only the latch and the unproven leaf still conflict.
+	wantPairs := map[uint64]uint64{
+		profile.PairKey(latch, leaf2): Weight(1),
+	}
+	got := map[uint64]uint64{}
+	for _, pc := range est.Profile.SortedPairs() {
+		got[profile.PairKey(pc.A, pc.B)] = pc.Count
+	}
+	if !reflect.DeepEqual(got, wantPairs) {
+		t.Errorf("pruned pairs = %v, want %v", got, wantPairs)
+	}
+
+	// The resolved branch keeps its execution estimate and reports its
+	// proven direction; the dead branch reports zero executions.
+	if est.Profile.Exec[leaf1] != Weight(1) || est.Profile.Taken[leaf1] != 0 {
+		t.Errorf("resolved leaf: Exec=%d Taken=%d, want %d/0",
+			est.Profile.Exec[leaf1], est.Profile.Taken[leaf1], Weight(1))
+	}
+	if est.Bias[leaf1] != BiasNotTaken {
+		t.Errorf("resolved leaf bias = %v, want biased-not-taken", est.Bias[leaf1])
+	}
+	if est.Profile.Exec[free] != 0 || est.Profile.Taken[free] != 0 {
+		t.Errorf("dead branch: Exec=%d Taken=%d, want 0/0", est.Profile.Exec[free], est.Profile.Taken[free])
+	}
+
+	// Unpruned branches are untouched.
+	for _, id := range []int32{latch, leaf2} {
+		if est.Profile.Exec[id] != plain.Profile.Exec[id] || est.Profile.Taken[id] != plain.Profile.Taken[id] {
+			t.Errorf("unpruned branch %d perturbed: Exec %d→%d Taken %d→%d", id,
+				plain.Profile.Exec[id], est.Profile.Exec[id], plain.Profile.Taken[id], est.Profile.Taken[id])
+		}
+	}
+
+	// The verifier-facts path still yields a profile the graph and
+	// allocation artifact checks accept.
+	g := est.Profile.BuildGraph(core.DefaultThreshold)
+	if err := analysis.VerifyGraph(g, core.DefaultThreshold); err != nil {
+		t.Errorf("VerifyGraph: %v", err)
+	}
+	alloc, err := core.Allocate(est.Profile, core.AllocationConfig{TableSize: 128})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := analysis.VerifyAllocation(est.Profile, alloc); err != nil {
+		t.Errorf("VerifyAllocation: %v", err)
+	}
+}

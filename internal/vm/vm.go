@@ -33,6 +33,19 @@ type BranchFunc func(pc uint64, taken bool, icount uint64)
 // Branch calls f.
 func (f BranchFunc) Branch(pc uint64, taken bool, icount uint64) { f(pc, taken, icount) }
 
+// Probe observes execution at instruction granularity. It exists for
+// verification oracles — package progcheck replays statically-proven
+// facts (reachability, memory bounds) against a live run — not for
+// profiling, which stays on the cheaper BranchSink path.
+type Probe interface {
+	// Step is called before the instruction at index idx executes.
+	Step(idx int)
+	// MemAccess is called for every load and store with the effective
+	// word address, before the bounds check — faulting accesses are
+	// observed too, so an oracle can confirm a proven fault.
+	MemAccess(idx int, addr int64, store bool)
+}
+
 // MultiSink fans one branch stream out to several sinks, letting a
 // single program run feed a profiler and several predictors at once.
 type MultiSink []BranchSink
@@ -59,6 +72,11 @@ type Config struct {
 	DataSeed uint64
 	// Sink receives conditional-branch events; nil discards them.
 	Sink BranchSink
+	// Probe, when non-nil, receives per-instruction and per-memory-access
+	// callbacks. It costs one predictable branch per retired instruction
+	// when nil, and is meant for verification runs, not production
+	// profiling.
+	Probe Probe
 	// Metrics, when non-nil, receives the run's aggregate throughput
 	// totals once at completion. The fetch–execute loop itself is never
 	// instrumented, so enabling metrics costs one call per run.
@@ -99,19 +117,27 @@ type Machine struct {
 	rand *rng.Xoshiro256
 }
 
-// minMemWords keeps small programs from faulting on stack traffic.
-const minMemWords = 1 << 12
+// MinMemWords keeps small programs from faulting on stack traffic:
+// every Machine allocates at least this many data words regardless of
+// the program's declared MemWords.
+const MinMemWords = 1 << 12
+
+// MemSize returns the data-memory size, in words, a Machine running p
+// will allocate: max(p.MemWords, MinMemWords). Static analyses bound
+// memory addresses against exactly this value.
+func MemSize(p *program.Program) int {
+	if p.MemWords < MinMemWords {
+		return MinMemWords
+	}
+	return p.MemWords
+}
 
 // New returns a Machine loaded with p. The program must validate.
 func New(p *program.Program) (*Machine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	words := p.MemWords
-	if words < minMemWords {
-		words = minMemWords
-	}
-	return &Machine{prog: p, mem: make([]int64, words)}, nil
+	return &Machine{prog: p, mem: make([]int64, MemSize(p))}, nil
 }
 
 // Run executes the loaded program from instruction 0 under cfg and
@@ -139,6 +165,7 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 	var st Stats
 	code := m.prog.Code
 	n := len(code)
+	probe := cfg.Probe
 	pc := 0
 	for {
 		if cfg.MaxInstructions != 0 && st.Instructions >= cfg.MaxInstructions {
@@ -146,6 +173,9 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 		}
 		if pc < 0 || pc >= n {
 			return st, fmt.Errorf("%w: pc %d out of range [0,%d)", ErrRuntime, pc, n) //reprolint:allow hotpath fault exit, runs at most once per run
+		}
+		if probe != nil {
+			probe.Step(pc)
 		}
 		in := code[pc]
 		icount := st.Instructions
@@ -186,6 +216,9 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 			m.set(in.Rd, int64(in.Imm)<<16)
 		case isa.OpLoad:
 			addr := m.regs[in.Rs] + int64(in.Imm)
+			if probe != nil {
+				probe.MemAccess(pc, addr, false)
+			}
 			if addr < 0 || addr >= int64(len(m.mem)) {
 				return st, fmt.Errorf("%w: load address %d out of range at pc %d", ErrRuntime, addr, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 			}
@@ -193,6 +226,9 @@ func (m *Machine) run(cfg Config) (Stats, error) {
 			st.Loads++
 		case isa.OpStore:
 			addr := m.regs[in.Rs] + int64(in.Imm)
+			if probe != nil {
+				probe.MemAccess(pc, addr, true)
+			}
 			if addr < 0 || addr >= int64(len(m.mem)) {
 				return st, fmt.Errorf("%w: store address %d out of range at pc %d", ErrRuntime, addr, pc) //reprolint:allow hotpath fault exit, runs at most once per run
 			}
